@@ -1,0 +1,502 @@
+package repro
+
+// One benchmark per experiment of the paper's evaluation (see DESIGN.md
+// §4 for the index). Each benchmark reports the measured round count of
+// the schedule under test via b.ReportMetric(..., "rounds"), so
+// `go test -bench=. -benchmem` regenerates every table and figure next
+// to the usual time/allocation numbers.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/mcm"
+	"repro/internal/mpc"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+	"repro/internal/tribes"
+	"repro/internal/workload"
+)
+
+// runBCQ executes the main protocol once and returns measured rounds.
+func runBCQ(b *testing.B, h *hypergraph.Hypergraph, g *topology.Graph, n int, seed int64) int {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	q := workload.BCQ(h, n, n, r)
+	players := make([]int, g.N())
+	for i := range players {
+		players[i] = i
+	}
+	s := &protocol.Setup[bool]{
+		Q: q, G: g,
+		Assign: workload.RoundRobinAssignment(h.NumEdges(), players),
+		Output: 0,
+	}
+	_, rep, err := protocol.Run(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.Rounds
+}
+
+// BenchmarkTable1FAQLine is Table 1 row 1: constant-degeneracy FAQ on a
+// line, Θ̃((y+n₂)·N) rounds.
+func BenchmarkTable1FAQLine(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runBCQ(b, hypergraph.PathGraph(5), topology.Line(4), n, 1)
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/float64(n), "rounds/N")
+		})
+	}
+}
+
+// BenchmarkTable1FAQArbitrary is Table 1 row 2: the same query family on
+// well-connected topologies, Θ̃((y+n₂)·N/MinCut).
+func BenchmarkTable1FAQArbitrary(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"clique4", topology.Clique(4)},
+		{"clique8", topology.Clique(8)},
+		{"grid3x3", topology.Grid(3, 3)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runBCQ(b, hypergraph.StarGraph(4), tc.g, 256, 2)
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkTable1BCQDegenerate is Table 1 row 3: d-degenerate simple
+// graphs, gap Õ(d).
+func BenchmarkTable1BCQDegenerate(b *testing.B) {
+	for _, d := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(d)))
+			h := workload.DDegenerateGraph(6, d, r)
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runBCQ(b, h, topology.Grid(2, 3), 128, 3)
+			}
+			players := []int{0, 1, 2, 3, 4, 5}
+			bounds, err := core.ComputeBounds(h, 128, topology.Grid(2, 3), players)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(bounds.Gap(), "gapUB/LB")
+		})
+	}
+}
+
+// BenchmarkTable1FAQHypergraph is Table 1 row 4: arity-r hypergraphs,
+// gap Õ(d²r²).
+func BenchmarkTable1FAQHypergraph(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	h := workload.DDegenerateHypergraph(6, 2, 3, r)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		rounds = runBCQ(b, h, topology.Grid(2, 3), 128, 4)
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkTable1MCM is Table 1 row 5: MCM on a line, Θ(kN) with gap
+// O(1).
+func BenchmarkTable1MCM(b *testing.B) {
+	for _, kn := range [][2]int{{8, 64}, {16, 64}} {
+		k, n := kn[0], kn[1]
+		b.Run(fmt.Sprintf("k=%d/N=%d", k, n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			ins := mcm.RandomInstance(k, n, r)
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				_, rep, err := mcm.Sequential(ins, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = rep.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/mcm.LowerBoundRounds(k, n), "gapUB/LB")
+		})
+	}
+}
+
+// BenchmarkFigureGHDWidths regenerates the Figure 1/2 width values.
+func BenchmarkFigureGHDWidths(b *testing.B) {
+	hs := map[string]*hypergraph.Hypergraph{
+		"H1": hypergraph.ExampleH1(),
+		"H2": hypergraph.ExampleH2(),
+		"H3": hypergraph.ExampleH3(),
+	}
+	want := map[string]int{"H1": 1, "H2": 1, "H3": 2}
+	for name, h := range hs {
+		b.Run(name, func(b *testing.B) {
+			y := 0
+			for i := 0; i < b.N; i++ {
+				var err error
+				y, err = ghd.Width(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if y != want[name] {
+				b.Fatalf("y(%s) = %d, want %d", name, y, want[name])
+			}
+			b.ReportMetric(float64(y), "y(H)")
+		})
+	}
+}
+
+// BenchmarkExample21SelfLoopLine measures Example 2.1 (N+2 rounds).
+func BenchmarkExample21SelfLoopLine(b *testing.B) {
+	n := 128
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		rounds = runBCQ(b, hypergraph.ExampleH0(), topology.Line(4), n, 6)
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(n+2), "paperN+2")
+}
+
+// BenchmarkExample22StarLine measures Example 2.2 (N+2 rounds).
+func BenchmarkExample22StarLine(b *testing.B) {
+	n := 128
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		rounds = runBCQ(b, hypergraph.ExampleH1(), topology.Line(4), n, 7)
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(n+2), "paperN+2")
+}
+
+// BenchmarkExample23StarClique measures Example 2.3 (N/2+2 rounds).
+func BenchmarkExample23StarClique(b *testing.B) {
+	n := 128
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		rounds = runBCQ(b, hypergraph.ExampleH1(), topology.Clique(4), n, 8)
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(n/2+2), "paperN/2+2")
+}
+
+// BenchmarkExample24TribesLB runs the Lemma 4.4 lower-bound pipeline.
+func BenchmarkExample24TribesLB(b *testing.B) {
+	n := 128
+	h := hypergraph.ExampleH1()
+	sites, err := tribes.SitesForForest(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	in := tribes.HardInstance(1, n, true, r)
+	emb, err := tribes.EmbedAtSites(h, sites, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := topology.Line(4)
+	minCut, side, err := flow.MinCutSeparating(g, []int{0, 1, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign, _, bNode, err := tribes.CutAssignment(emb, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		s := &protocol.Setup[bool]{Q: emb.Q, G: g, Assign: assign, Output: bNode}
+		_, rep, err := protocol.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(tribes.LowerBoundRounds(emb.M, n, minCut), "LBrounds")
+}
+
+// BenchmarkCorollary43StarLineK sweeps the star-on-k-line bound ≤ N+k.
+func BenchmarkCorollary43StarLineK(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			n := 128
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				rounds = runBCQ(b, hypergraph.StarGraph(k), topology.Line(k), n, 10)
+			}
+			if rounds > n+4*k {
+				b.Fatalf("rounds %d above Corollary 4.3 envelope N+k", rounds)
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkSetIntersection measures Theorem 3.11 across topologies.
+func BenchmarkSetIntersection(b *testing.B) {
+	n := 256
+	all := make([]int, n)
+	for x := range all {
+		all[x] = x
+	}
+	for _, tc := range []struct {
+		name string
+		g    *topology.Graph
+		K    []int
+	}{
+		{"line4", topology.Line(4), []int{0, 1, 2, 3}},
+		{"clique8", topology.Clique(8), []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"grid3x3", topology.Grid(3, 3), []int{0, 2, 6, 8}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sets := map[int][]int{}
+			for _, u := range tc.K {
+				sets[u] = all
+			}
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				_, rep, err := protocol.SetIntersection(&protocol.SetIntersectionInput{
+					G: tc.g, Sets: sets, Output: tc.K[0], Universe: n,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = rep.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkTrivialProtocol measures the Lemma 3.1 baseline.
+func BenchmarkTrivialProtocol(b *testing.B) {
+	n := 256
+	r := rand.New(rand.NewSource(11))
+	q := workload.BCQ(hypergraph.StarGraph(4), n, n, r)
+	s := &protocol.Setup[bool]{
+		Q: q, G: topology.Line(4),
+		Assign: protocol.Assignment{0, 1, 2, 3}, Output: 0,
+	}
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		_, rep, err := protocol.RunTrivial(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkMCFvsMinCut measures Appendix D.1's τ_MCF ≈ N′/MinCut.
+func BenchmarkMCFvsMinCut(b *testing.B) {
+	g := topology.Grid(3, 4)
+	K := []int{0, 11}
+	units := 512
+	tau := 0
+	for i := 0; i < b.N; i++ {
+		var err error
+		tau, _, err = flow.TauMCF(g, K, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mc, _, err := flow.MinCutSeparating(g, K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(tau), "tauMCF")
+	b.ReportMetric(float64(tau)*float64(mc)/float64(units), "ratio")
+}
+
+// BenchmarkMCMSequential measures Proposition 6.1.
+func BenchmarkMCMSequential(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	ins := mcm.RandomInstance(16, 64, r)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		_, rep, err := mcm.Sequential(ins, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkMCMMergeCrossover measures Appendix I.1's k ≫ N regime.
+func BenchmarkMCMMergeCrossover(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	for _, kn := range [][2]int{{16, 32}, {256, 8}} {
+		k, n := kn[0], kn[1]
+		b.Run(fmt.Sprintf("k=%d/N=%d", k, n), func(b *testing.B) {
+			ins := mcm.RandomInstance(k, n, r)
+			seqR, mrgR := 0, 0
+			for i := 0; i < b.N; i++ {
+				_, seq, err := mcm.Sequential(ins, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, mrg, err := mcm.Merge(ins, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seqR, mrgR = seq.Rounds, mrg.Rounds
+			}
+			b.ReportMetric(float64(seqR), "seqRounds")
+			b.ReportMetric(float64(mrgR), "mergeRounds")
+		})
+	}
+}
+
+// BenchmarkMCMLowerBound reports the Theorem 6.4 gap.
+func BenchmarkMCMLowerBound(b *testing.B) {
+	r := rand.New(rand.NewSource(14))
+	ins := mcm.RandomInstance(8, 64, r)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		_, rep, err := mcm.Sequential(ins, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds)/mcm.LowerBoundRounds(8, 64), "gapUB/LB")
+}
+
+// BenchmarkMinEntropyPreservation is the Theorem 6.3 Monte Carlo.
+func BenchmarkMinEntropyPreservation(b *testing.B) {
+	e := &entropy.ProductExperiment{N: 10, GammaRows: 2, AlphaBits: 6, Samples: 50000}
+	var res *entropy.ProductResult
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HAxEstimate, "HinfAx")
+	b.ReportMetric(res.Bound, "thmBound")
+}
+
+// BenchmarkShannonCounterexample evaluates Appendix I.3 exactly.
+func BenchmarkShannonCounterexample(b *testing.B) {
+	c := &entropy.ShannonCounterexample{N: 20, T: 4, Alpha: 0.2}
+	var res *entropy.CounterexampleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = c.Exact()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HShX, "HshX")
+	b.ReportMetric(res.HCondAx, "HcondAx")
+}
+
+// BenchmarkMPC0Star sweeps the Appendix A.1.4 MPC(0) comparison.
+func BenchmarkMPC0Star(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := mpc.Star0(4, p, 128, 128, 0, rand.New(rand.NewSource(16)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(mpc.Mpc0RoundBound(128, p), "bound")
+		})
+	}
+}
+
+// BenchmarkMPCEpsStar sweeps the Appendix A.2.3 clique comparison.
+func BenchmarkMPCEpsStar(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := mpc.StarEps(6, p, 128, 128, 0, rand.New(rand.NewSource(17)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkGeneralFAQ runs a sum-product FAQ with free variables
+// distributed (Theorems 5.1/5.2 shape).
+func BenchmarkGeneralFAQ(b *testing.B) {
+	r := rand.New(rand.NewSource(18))
+	h := hypergraph.PathGraph(5)
+	q := workload.SumProductFAQ(h, []int{0, 1}, 128, 128, r)
+	s := &protocol.Setup[float64]{
+		Q: q, G: topology.Line(4),
+		Assign: protocol.Assignment{0, 1, 2, 3}, Output: 0,
+	}
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		_, rep, err := protocol.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = rep.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkPGMMarginal runs the distributed PGM factor marginal.
+func BenchmarkPGMMarginal(b *testing.B) {
+	tbl, err := experiments.PGMTable(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PGMTable(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tbl.Rows)), "models")
+}
+
+// BenchmarkTheorem41Gap sweeps the arity-2 degenerate gap of
+// Theorem 4.1.
+func BenchmarkTheorem41Gap(b *testing.B) {
+	r := rand.New(rand.NewSource(19))
+	h := workload.DDegenerateGraph(8, 2, r)
+	g := topology.Grid(2, 4)
+	players := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		bounds, err := core.ComputeBounds(h, 256, g, players)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = bounds.Gap()
+	}
+	b.ReportMetric(gap, "gapUB/LB")
+}

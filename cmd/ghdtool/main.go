@@ -1,0 +1,102 @@
+// Command ghdtool inspects a query hypergraph: it prints the GYO
+// elimination trace (Definition 2.6), the core/forest decomposition
+// C(H), W(H) and n₂(H) (Definition 2.7), the degeneracy, and a
+// width-minimized GYO-GHD with its internal-node-width y(H)
+// (Definition 2.9).
+//
+// Usage:
+//
+//	ghdtool 'A,B,C;B,D;C,F;A,B,E'
+//	ghdtool -example H2
+//
+// The positional argument lists hyperedges separated by ';', each a
+// comma-separated vertex-name list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+)
+
+func main() {
+	example := flag.String("example", "", "use a built-in example hypergraph: H0, H1, H2, H3")
+	flag.Parse()
+	if err := run(*example, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "ghdtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(example string, args []string) error {
+	var h *hypergraph.Hypergraph
+	switch {
+	case example != "":
+		switch strings.ToUpper(example) {
+		case "H0":
+			h = hypergraph.ExampleH0()
+		case "H1":
+			h = hypergraph.ExampleH1()
+		case "H2":
+			h = hypergraph.ExampleH2()
+		case "H3":
+			h = hypergraph.ExampleH3()
+		default:
+			return fmt.Errorf("unknown example %q (have H0..H3)", example)
+		}
+	case len(args) == 1:
+		var err error
+		h, err = parse(args[0])
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need one edge-list argument or -example (see -h)")
+	}
+
+	fmt.Printf("hypergraph: %s\n", h)
+	fmt.Printf("arity r = %d, degeneracy d = %d, acyclic = %v\n\n",
+		h.Arity(), hypergraph.Degeneracy(h), hypergraph.IsAcyclic(h))
+
+	res := hypergraph.RunGYO(h)
+	fmt.Println("GYO trace:")
+	for _, s := range res.Steps {
+		fmt.Printf("  %s\n", s)
+	}
+	d := hypergraph.Decompose(h)
+	fmt.Printf("\ncore H' edges: %v\n", d.Core)
+	for _, tr := range d.Trees {
+		fmt.Printf("pendant tree rooted at e%d: edges %v\n", tr.Root, tr.Edges)
+	}
+	fmt.Printf("V(C(H)) = %v, n2(H) = %d\n\n", d.CoreVertices, d.N2())
+
+	g, err := ghd.Minimize(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("width-minimized GYO-GHD (y(H) = %d internal nodes, depth %d):\n%s",
+		g.InternalNodes(), g.Depth(), g)
+	return nil
+}
+
+func parse(spec string) (*hypergraph.Hypergraph, error) {
+	b := hypergraph.NewBuilder()
+	for _, edge := range strings.Split(spec, ";") {
+		var names []string
+		for _, v := range strings.Split(edge, ",") {
+			v = strings.TrimSpace(v)
+			if v != "" {
+				names = append(names, v)
+			}
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("empty hyperedge in %q", spec)
+		}
+		b.Edge(names...)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment runners double as integration tests: each must execute
+// end to end at reduced sizes and produce a well-formed table.
+
+func checkTable(t *testing.T, tbl *Table, err error, wantRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < wantRows {
+		t.Fatalf("%s: %d rows, want ≥ %d", tbl.ID, len(tbl.Rows), wantRows)
+	}
+	for _, r := range tbl.Rows {
+		if len(r) != len(tbl.Header) {
+			t.Fatalf("%s: row width %d != header width %d", tbl.ID, len(r), len(tbl.Header))
+		}
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, tbl.ID) {
+		t.Errorf("%s: Format lost the id", tbl.ID)
+	}
+}
+
+func TestWidthTable(t *testing.T) {
+	tbl, err := WidthTable()
+	checkTable(t, tbl, err, 7)
+	// Pin the paper's values inside the rendered rows.
+	for _, row := range tbl.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "H1"):
+			if row[1] != "1" {
+				t.Errorf("y(H1) rendered as %s, want 1", row[1])
+			}
+		case strings.HasPrefix(row[0], "H3"):
+			if row[1] != "2" || row[2] != "5" {
+				t.Errorf("H3 rendered y=%s n2=%s, want 2, 5", row[1], row[2])
+			}
+		}
+	}
+}
+
+func TestExamplesTableSmall(t *testing.T) {
+	tbl, err := ExamplesTable(32)
+	checkTable(t, tbl, err, 3)
+	// Example 2.1 must land exactly on N+2 at every size.
+	if tbl.Rows[0][3] != "34" {
+		t.Errorf("Example 2.1 measured %s rounds, want 34 = N+2", tbl.Rows[0][3])
+	}
+}
+
+func TestExample24TableSmall(t *testing.T) {
+	tbl, err := Example24Table(32)
+	checkTable(t, tbl, err, 6)
+	for _, row := range tbl.Rows {
+		if row[0] == "equivalent" && row[1] != "true" {
+			t.Error("embedding equivalence failed in Example 2.4 table")
+		}
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	tbl, err := Table1(32)
+	checkTable(t, tbl, err, 5)
+}
+
+func TestSetIntersectionTableSmall(t *testing.T) {
+	tbl, err := SetIntersectionTable(32)
+	checkTable(t, tbl, err, 6)
+}
+
+func TestTauMCFTableSmall(t *testing.T) {
+	tbl, err := TauMCFTable(64)
+	checkTable(t, tbl, err, 4)
+}
+
+func TestMCMTable(t *testing.T) {
+	tbl, err := MCMTable()
+	checkTable(t, tbl, err, 7)
+	// The winner column must flip from sequential to merge as k grows
+	// past N (Appendix I.1).
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if first[len(first)-1] != "sequential" {
+		t.Errorf("small-k winner = %s, want sequential", first[len(first)-1])
+	}
+	if last[len(last)-1] != "merge" {
+		t.Errorf("large-k winner = %s, want merge", last[len(last)-1])
+	}
+}
+
+func TestEntropyTableSmall(t *testing.T) {
+	tbl, err := EntropyTable(20000)
+	checkTable(t, tbl, err, 5)
+}
+
+func TestShannonTable(t *testing.T) {
+	tbl, err := ShannonTable()
+	checkTable(t, tbl, err, 4)
+}
+
+func TestMPCTableSmall(t *testing.T) {
+	tbl, err := MPCTable(32)
+	checkTable(t, tbl, err, 7)
+}
+
+func TestPGMTableSmall(t *testing.T) {
+	tbl, err := PGMTable(32)
+	checkTable(t, tbl, err, 3)
+	for _, row := range tbl.Rows {
+		if row[2] != "true" {
+			t.Errorf("%s: distributed marginal mismatch", row[0])
+		}
+	}
+}

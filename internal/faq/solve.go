@@ -1,0 +1,174 @@
+package faq
+
+import (
+	"fmt"
+
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+// BruteForce evaluates the query by materializing the full join of all
+// factors and then aggregating the bound variables innermost-first
+// (x_n, x_{n-1}, ..., x_{ℓ+1} per eq. 4). It is exponential in general
+// and exists as the correctness oracle for the other solvers.
+func BruteForce[T any](q *Query[T]) (*relation.Relation[T], error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	joined := relation.Unit(q.S, q.S.One())
+	for _, f := range q.Factors {
+		joined = relation.Join(q.S, joined, f)
+	}
+	out := joined
+	var err error
+	for _, v := range q.BoundVars() {
+		if !hypergraph.ContainsSorted(out.Schema(), v) {
+			continue
+		}
+		out, err = relation.EliminateVar(q.S, out, v, q.Op(v), q.DomSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Solve evaluates the query with the GHD message-passing algorithm of
+// Theorem G.3: a single bottom-up pass over a (minimized) GYO-GHD, where
+// each node joins its factor with the children's messages and aggregates
+// out the variables private to its subtree (the push-down of
+// Corollary G.2). Each message has at most N tuples (eq. 24), so the
+// pass runs in Õ(N) per node for acyclic queries; the cyclic core is
+// materialized at the fat root exactly as the paper's trivial protocol
+// materializes it at one player.
+//
+// The paper's free-variable restriction applies: F must be contained in
+// the root bag (F ⊆ V(C(H)), Appendix G.5). Queries violating it are
+// rejected — fall back to BruteForce.
+func Solve[T any](q *Query[T]) (*relation.Relation[T], error) {
+	g, err := ghd.Minimize(q.H)
+	if err != nil {
+		return nil, err
+	}
+	g, err = RootForFree(g, q.Free)
+	if err != nil {
+		return nil, err
+	}
+	return SolveOnGHD(q, g)
+}
+
+// RootForFree re-roots g at a node whose bag contains every free
+// variable, so the bottom-up pass delivers the marginal at the root.
+// Ties prefer the current root, then the smallest internal-node count.
+// If no bag covers F the paper's free-variable restriction
+// (F ⊆ V(C(H)), Appendix G.5) is violated and an error is returned.
+func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
+	covers := func(v int) bool {
+		for _, x := range free {
+			if !hypergraph.ContainsSorted(g.Bags[v], x) {
+				return false
+			}
+		}
+		return true
+	}
+	if covers(g.Root) {
+		return g, nil
+	}
+	best := -1
+	bestY := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if !covers(v) {
+			continue
+		}
+		cand := g.ReRoot(v)
+		if y := cand.InternalNodes(); best == -1 || y < bestY {
+			best, bestY = v, y
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("faq: no GHD bag covers free variables %v (paper requires F ⊆ V(C(H)))", free)
+	}
+	return g.ReRoot(best), nil
+}
+
+// SolveOnGHD is Solve with a caller-chosen decomposition (used by the
+// distributed protocols, which must run on the same tree they schedule
+// communication for).
+func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rootBag := g.Bags[g.Root]
+	for _, v := range q.Free {
+		if !hypergraph.ContainsSorted(rootBag, v) {
+			return nil, fmt.Errorf("faq: free variable %d outside root bag %v (paper requires F ⊆ V(C(H)))", v, rootBag)
+		}
+	}
+
+	// Factor assigned to each node: its designated hyperedge's relation;
+	// the fat root (if any) starts from the multiplicative unit.
+	nodeRel := make([]*relation.Relation[T], g.NumNodes())
+	for e, v := range g.NodeOf {
+		if nodeRel[v] == nil {
+			nodeRel[v] = q.Factors[e]
+		} else {
+			// Multiple hyperedges can share a node only via duplicate
+			// edges mapped elsewhere; NodeOf is injective by Validate,
+			// but guard anyway.
+			nodeRel[v] = relation.Join(q.S, nodeRel[v], q.Factors[e])
+		}
+	}
+
+	free := make(map[int]bool, len(q.Free))
+	for _, v := range q.Free {
+		free[v] = true
+	}
+
+	msgs := make([]*relation.Relation[T], g.NumNodes())
+	ch := g.Children()
+	for _, v := range g.PostOrder() {
+		cur := nodeRel[v]
+		if cur == nil {
+			cur = relation.Unit(q.S, q.S.One())
+		}
+		for _, c := range ch[v] {
+			cur = relation.Join(q.S, cur, msgs[c])
+		}
+		// Aggregate out the variables private to this subtree: those not
+		// in the parent's bag (running intersection guarantees a
+		// variable escaping the subtree appears in the parent bag) and
+		// not free. Innermost (highest id) first, per eq. 4.
+		var keep []int
+		if v != g.Root {
+			keep = g.Bags[g.Parent[v]]
+		}
+		schema := cur.Schema()
+		var private []int
+		for i := len(schema) - 1; i >= 0; i-- {
+			x := schema[i]
+			if free[x] {
+				continue
+			}
+			if v != g.Root && hypergraph.ContainsSorted(keep, x) {
+				continue
+			}
+			private = append(private, x)
+		}
+		var err error
+		for _, x := range private {
+			cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
+			if err != nil {
+				return nil, err
+			}
+		}
+		msgs[v] = cur
+	}
+	return msgs[g.Root], nil
+}
+
+// BCQValue extracts the Boolean answer of a BCQ result (a scalar
+// relation).
+func BCQValue(q *Query[bool], res *relation.Relation[bool]) (bool, error) {
+	return relation.ScalarValue(q.S, res)
+}

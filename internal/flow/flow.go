@@ -1,0 +1,208 @@
+// Package flow implements the network-flow machinery of the paper's
+// protocols and bounds: unit-capacity max-flow / min-cut (Edmonds–Karp),
+// the cut MinCut(G,K) separating the player set (Definition 3.6),
+// edge-disjoint Steiner-tree packing ST(G,K,Δ) (Definition 3.9,
+// Theorem 3.10), and the many-to-one routing cost τ_MCF (Definition 3.12)
+// used by the trivial protocol (Lemma 3.1).
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Result is the outcome of a unit-capacity max-flow computation.
+type Result struct {
+	// Value is the max-flow value = number of edge-disjoint s-t paths
+	// (Menger).
+	Value int
+	// Paths decomposes the flow into edge-disjoint s-t paths (vertex
+	// sequences), used by routing schedules.
+	Paths [][]int
+	// SourceSide[v] reports whether v is on s's side of the induced
+	// minimum cut (residual-reachable from s).
+	SourceSide []bool
+}
+
+// MaxFlow computes the maximum s-t flow in g with unit capacity per
+// undirected edge, via BFS augmentation. Unit capacities make Value the
+// number of edge-disjoint s-t paths.
+func MaxFlow(g *topology.Graph, s, t int) (*Result, error) {
+	if s == t {
+		return nil, fmt.Errorf("flow: s == t == %d", s)
+	}
+	n := g.N()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, fmt.Errorf("flow: endpoint out of range")
+	}
+	// netFlow[e] ∈ {-1, 0, +1}: +1 means flow from lower to higher
+	// endpoint of edge e.
+	netFlow := make([]int, g.M())
+	residualOK := func(u, v int) bool {
+		id, ok := g.EdgeID(u, v)
+		if !ok {
+			return false
+		}
+		a, _ := g.Edge(id)
+		if u == a { // traversing low->high: need netFlow < 1
+			return netFlow[id] < 1
+		}
+		return netFlow[id] > -1
+	}
+	push := func(u, v int) {
+		id, _ := g.EdgeID(u, v)
+		a, _ := g.Edge(id)
+		if u == a {
+			netFlow[id]++
+		} else {
+			netFlow[id]--
+		}
+	}
+	prev := make([]int, n)
+	for {
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && prev[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj(u) {
+				if prev[v] == -1 && residualOK(u, v) {
+					prev[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			break
+		}
+		for v := t; v != s; v = prev[v] {
+			push(prev[v], v)
+		}
+	}
+	res := &Result{SourceSide: make([]bool, n)}
+	// Residual reachability marks the source side of a minimum cut.
+	res.SourceSide[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj(u) {
+			if !res.SourceSide[v] && residualOK(u, v) {
+				res.SourceSide[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Decompose net flow into edge-disjoint paths: repeatedly walk
+	// positive-flow arcs from s to t.
+	outArcs := func(u int) (int, bool) {
+		for _, v := range g.Adj(u) {
+			id, _ := g.EdgeID(u, v)
+			a, _ := g.Edge(id)
+			if (u == a && netFlow[id] == 1) || (u != a && netFlow[id] == -1) {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	for {
+		path := []int{s}
+		u := s
+		for u != t {
+			v, ok := outArcs(u)
+			if !ok {
+				break
+			}
+			id, _ := g.EdgeID(u, v)
+			netFlow[id] = 0
+			path = append(path, v)
+			u = v
+		}
+		if u != t {
+			break
+		}
+		res.Paths = append(res.Paths, path)
+	}
+	res.Value = len(res.Paths)
+	return res, nil
+}
+
+// MinCutSeparating computes MinCut(G, K) (Definition 3.6): the smallest
+// edge cut whose removal separates the player set K into two nonempty
+// sides. It returns the cut value and one side (as a vertex indicator).
+// |K| must be at least 2 and K must be connected in g.
+func MinCutSeparating(g *topology.Graph, K []int) (int, []bool, error) {
+	if len(K) < 2 {
+		return 0, nil, fmt.Errorf("flow: MinCut needs ≥ 2 players, got %d", len(K))
+	}
+	if !g.ConnectsAll(K) {
+		return 0, nil, fmt.Errorf("flow: players %v not connected in %v", K, g)
+	}
+	best := -1
+	var side []bool
+	s := K[0]
+	for _, t := range K[1:] {
+		r, err := MaxFlow(g, s, t)
+		if err != nil {
+			return 0, nil, err
+		}
+		if best == -1 || r.Value < best {
+			best = r.Value
+			side = r.SourceSide
+		}
+	}
+	return best, side, nil
+}
+
+// Dist returns pairwise hop distance d(u, v) in g, or -1 if disconnected.
+func Dist(g *topology.Graph, u, v int) int {
+	return g.BFS(u, nil)[v]
+}
+
+// TauMCF evaluates the routing cost τ_MCF(G, K, N′) of Definition 3.12:
+// the number of rounds needed to ship N′ units (each unit = one tuple of
+// log₂N′ bits, one unit per edge per round) from all players in K to the
+// best single collection player, under the worst-case placement of the
+// units (all at one player, per the paper's simplification in
+// Appendix D.1). It returns the round count and the chosen collector.
+func TauMCF(g *topology.Graph, K []int, units int) (int, int, error) {
+	if len(K) == 0 {
+		return 0, -1, fmt.Errorf("flow: empty player set")
+	}
+	if len(K) == 1 {
+		return 0, K[0], nil
+	}
+	if units < 0 {
+		return 0, -1, fmt.Errorf("flow: negative unit count %d", units)
+	}
+	bestRounds, bestT := -1, -1
+	for _, t := range K {
+		worst := 0
+		for _, s := range K {
+			if s == t {
+				continue
+			}
+			r, err := MaxFlow(g, s, t)
+			if err != nil {
+				return 0, -1, err
+			}
+			if r.Value == 0 {
+				return 0, -1, fmt.Errorf("flow: players %d and %d disconnected", s, t)
+			}
+			rounds := ceilDiv(units, r.Value) + Dist(g, s, t)
+			if rounds > worst {
+				worst = rounds
+			}
+		}
+		if bestRounds == -1 || worst < bestRounds {
+			bestRounds, bestT = worst, t
+		}
+	}
+	return bestRounds, bestT, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,302 @@
+package ghd
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// MaxExactTrees bounds the number of labeled trees (m^(m-2) for m nodes)
+// the exhaustive width search will enumerate. Above the budget Minimize
+// falls back to the construction heuristic plus MDTransform; per
+// Appendix F the paper's tightness results only need an O(1)-factor
+// approximation of the internal-node-width.
+const MaxExactTrees = 20000
+
+// exactBudgetOK reports whether enumerating all labeled trees on m nodes
+// fits the MaxExactTrees budget.
+func exactBudgetOK(m int) bool {
+	if m <= 3 {
+		return true
+	}
+	count := 1
+	for i := 0; i < m-2; i++ {
+		count *= m
+		if count > MaxExactTrees {
+			return false
+		}
+	}
+	return true
+}
+
+// Width returns the internal-node-width y(H) (Definition 2.9): the
+// minimum number of internal nodes over GYO-GHDs of h, computed exactly
+// for small hypergraphs and by the construction heuristic otherwise.
+func Width(h *hypergraph.Hypergraph) (int, error) {
+	g, err := Minimize(h)
+	if err != nil {
+		return 0, err
+	}
+	return g.InternalNodes(), nil
+}
+
+// Minimize returns a GYO-GHD of h with (near-)minimal internal node
+// count. Strategy: build the Construction 2.8 baseline, flatten it with
+// MDTransform, and — when the instance is small enough — exhaustively
+// search all valid tree shapes of the GYO-GHD family.
+func Minimize(h *hypergraph.Hypergraph) (*GHD, error) {
+	base, err := Construct(h)
+	if err != nil {
+		return nil, err
+	}
+	best := base
+	if md := MDTransform(base); md.InternalNodes() < best.InternalNodes() {
+		if md.Validate() == nil {
+			best = md
+		}
+	}
+	if alt := minimizeExact(h); alt != nil && alt.InternalNodes() < best.InternalNodes() {
+		best = alt
+	}
+	return best, nil
+}
+
+// minimizeExact enumerates the GYO-GHD family exhaustively:
+//
+//   - acyclic connected h: all labeled trees over the edge nodes
+//     (reduced-GHDs), rooted to minimize internal nodes;
+//   - otherwise: the fat core root r′ is fixed, core edges hang off r′ as
+//     leaves, and all tree shapes over {r′} ∪ removed edges are tried.
+//
+// Returns nil when the instance exceeds the MaxExactTrees budget or no valid shape
+// exists (the latter cannot happen: Construction 2.8 always yields one).
+func minimizeExact(h *hypergraph.Hypergraph) *GHD {
+	d := hypergraph.Decompose(h)
+	needFatRoot := !d.CoreIsEmpty() || len(d.Trees) > 1
+
+	if !needFatRoot {
+		m := h.NumEdges()
+		if !exactBudgetOK(m) {
+			return nil
+		}
+		var best *GHD
+		forEachLabeledTree(m, func(adj [][]int) {
+			g := ghdFromEdgeTree(h, adj)
+			if g == nil {
+				return
+			}
+			if best == nil || g.InternalNodes() < best.InternalNodes() {
+				best = g
+			}
+		})
+		return best
+	}
+
+	// Fat-root case: node 0 = r′; nodes 1..m = removed edges.
+	var removedEdges []int
+	for _, t := range d.Trees {
+		removedEdges = append(removedEdges, t.Edges...)
+	}
+	m := len(removedEdges)
+	if !exactBudgetOK(m + 1) {
+		return nil
+	}
+	var best *GHD
+	forEachLabeledTree(m+1, func(adj [][]int) {
+		g := ghdFromFatRootTree(h, d, removedEdges, adj)
+		if g == nil {
+			return
+		}
+		if best == nil || g.InternalNodes() < best.InternalNodes() {
+			best = g
+		}
+	})
+	return best
+}
+
+// forEachLabeledTree enumerates all labeled trees on m nodes via Prüfer
+// sequences and invokes fn with each tree's adjacency list. m = 1 yields
+// the single-node tree; m = 2 the single edge.
+func forEachLabeledTree(m int, fn func(adj [][]int)) {
+	switch {
+	case m <= 0:
+		return
+	case m == 1:
+		fn(make([][]int, 1))
+		return
+	case m == 2:
+		fn([][]int{{1}, {0}})
+		return
+	}
+	seq := make([]int, m-2)
+	for {
+		fn(pruferDecode(seq, m))
+		// Increment the sequence like an odometer base m.
+		i := len(seq) - 1
+		for ; i >= 0; i-- {
+			seq[i]++
+			if seq[i] < m {
+				break
+			}
+			seq[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// pruferDecode converts a Prüfer sequence into the adjacency list of the
+// corresponding labeled tree on m nodes.
+func pruferDecode(seq []int, m int) [][]int {
+	deg := make([]int, m)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, x := range seq {
+		deg[x]++
+	}
+	adj := make([][]int, m)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	used := make([]bool, m)
+	for _, x := range seq {
+		leaf := -1
+		for v := 0; v < m; v++ {
+			if deg[v] == 1 && !used[v] {
+				leaf = v
+				break
+			}
+		}
+		addEdge(leaf, x)
+		used[leaf] = true
+		deg[x]--
+	}
+	a, b := -1, -1
+	for v := 0; v < m; v++ {
+		if deg[v] == 1 && !used[v] {
+			if a == -1 {
+				a = v
+			} else {
+				b = v
+			}
+		}
+	}
+	addEdge(a, b)
+	return adj
+}
+
+// ghdFromEdgeTree builds a reduced-GHD whose node i carries hyperedge i,
+// with tree shape adj, rooted to minimize internal nodes; returns nil if
+// the shape violates the GHD properties.
+func ghdFromEdgeTree(h *hypergraph.Hypergraph, adj [][]int) *GHD {
+	m := h.NumEdges()
+	// Root at a maximum-degree node: internal nodes of a rooted tree =
+	// (#nodes with degree ≥ 2) + (1 if the root is a leaf), so rooting
+	// at an internal vertex is optimal.
+	root := 0
+	for v := 1; v < m; v++ {
+		if len(adj[v]) > len(adj[root]) {
+			root = v
+		}
+	}
+	g := &GHD{H: h, CoreRoot: -1, Root: root}
+	g.Bags = make([][]int, m)
+	g.Labels = make([][]int, m)
+	g.Parent = make([]int, m)
+	g.NodeOf = make([]int, m)
+	for e := 0; e < m; e++ {
+		g.Bags[e] = append([]int(nil), h.Edge(e)...)
+		g.Labels[e] = []int{e}
+		g.NodeOf[e] = e
+		g.Parent[e] = -1
+	}
+	// Orient the tree away from the root.
+	visited := make([]bool, m)
+	visited[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				g.Parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if g.Validate() != nil {
+		return nil
+	}
+	return g
+}
+
+// ghdFromFatRootTree builds a Construction 2.8 GHD with the fat root as
+// tree node 0 and removedEdges[i-1] as tree node i, with core edges
+// attached as leaves of the root; returns nil when invalid.
+func ghdFromFatRootTree(h *hypergraph.Hypergraph, d *hypergraph.Decomposition, removedEdges []int, adj [][]int) *GHD {
+	m := len(removedEdges)
+	total := 1 + m + len(d.Core)
+	g := &GHD{H: h, CoreRoot: 0, Root: 0}
+	g.Bags = make([][]int, total)
+	g.Labels = make([][]int, total)
+	g.Parent = make([]int, total)
+	g.NodeOf = make([]int, h.NumEdges())
+	for i := range g.NodeOf {
+		g.NodeOf[i] = -1
+	}
+	g.Bags[0] = append([]int(nil), d.CoreVertices...)
+	g.Labels[0] = append([]int(nil), d.Core...)
+	g.Parent[0] = -1
+	for i, e := range removedEdges {
+		v := 1 + i
+		g.Bags[v] = append([]int(nil), h.Edge(e)...)
+		g.Labels[v] = []int{e}
+		g.NodeOf[e] = v
+	}
+	for i, e := range d.Core {
+		v := 1 + m + i
+		g.Bags[v] = append([]int(nil), h.Edge(e)...)
+		g.Labels[v] = []int{e}
+		g.NodeOf[e] = v
+		g.Parent[v] = 0
+	}
+	// Orient the enumerated tree away from node 0 (= r′).
+	visited := make([]bool, m+1)
+	visited[0] = true
+	queue := []int{0}
+	g.Parent[0] = -1
+	order := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				g.Parent[v] = u
+				queue = append(queue, v)
+				order++
+			}
+		}
+	}
+	if order != m+1 {
+		return nil
+	}
+	if g.Validate() != nil {
+		return nil
+	}
+	return g
+}
+
+// MustWidth is Width for callers holding hypergraphs already validated by
+// construction (tests, benchmarks); it panics on error.
+func MustWidth(h *hypergraph.Hypergraph) int {
+	w, err := Width(h)
+	if err != nil {
+		panic(fmt.Sprintf("ghd: %v", err))
+	}
+	return w
+}

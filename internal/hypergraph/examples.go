@@ -1,0 +1,98 @@
+package hypergraph
+
+// This file constructs the paper's running example hypergraphs (Figure 1
+// and Appendix C.2) so that tests, benchmarks, and documentation all speak
+// about the same objects.
+
+// ExampleH0 is H₀ of Example 2.1: four self-loop relations
+// R(A), S(A), T(A), U(A) on a single vertex A. BCQ of H₀ is the 4-way set
+// intersection R ∩ S ∩ T ∩ U ≠ ∅.
+func ExampleH0() *Hypergraph {
+	b := NewBuilder()
+	b.Edge("A") // R
+	b.Edge("A") // S
+	b.Edge("A") // T
+	b.Edge("A") // U
+	return b.Build()
+}
+
+// ExampleH1 is the star H₁ of Figure 1: R(A,B), S(A,C), T(A,D), U(A,E).
+func ExampleH1() *Hypergraph {
+	b := NewBuilder()
+	b.Edge("A", "B") // R
+	b.Edge("A", "C") // S
+	b.Edge("A", "D") // T
+	b.Edge("A", "E") // U
+	return b.Build()
+}
+
+// ExampleH2 is the acyclic hypergraph H₂ of Figure 1:
+// R(A,B,C), S(B,D), T(C,F), U(A,B,E). Its GYO-GHD T₁ rooted at (A,B,C)
+// has a single internal node, so y(H₂) = 1 (Figure 2).
+func ExampleH2() *Hypergraph {
+	b := NewBuilder()
+	b.Edge("A", "B", "C") // R
+	b.Edge("B", "D")      // S
+	b.Edge("C", "F")      // T
+	b.Edge("A", "B", "E") // U
+	return b.Build()
+}
+
+// ExampleH3 is the hypergraph of Appendix C.2 used to trace GYOA:
+// e1=(A,B,C), e2=(B,C,D), e3=(A,C,D), e4=(A,B,E), e5=(A,F), e6=(B,G),
+// e7=(G,H). GYOA removes e7, e6, e5, e4 (forest rooted at e4) and leaves
+// the cyclic core {e1, e2, e3}; V(C(H₃)) = {A,B,C,D,E}, so n₂(H₃) = 5.
+func ExampleH3() *Hypergraph {
+	b := NewBuilder()
+	b.Edge("A", "B", "C") // e1
+	b.Edge("B", "C", "D") // e2
+	b.Edge("A", "C", "D") // e3
+	b.Edge("A", "B", "E") // e4
+	b.Edge("A", "F")      // e5
+	b.Edge("B", "G")      // e6
+	b.Edge("G", "H")      // e7
+	return b.Build()
+}
+
+// PathGraph returns the path query x₀ — x₁ — ... — x_{n-1} with n-1
+// binary relations, a canonical constant-treewidth (hence
+// 1-degenerate) query.
+func PathGraph(n int) *Hypergraph {
+	h := New(n)
+	for i := 0; i+1 < n; i++ {
+		h.AddEdge(i, i+1)
+	}
+	return h
+}
+
+// StarGraph returns a star query with center 0 and k leaf relations
+// (0, i) for i = 1..k, generalizing H₁.
+func StarGraph(k int) *Hypergraph {
+	h := New(k + 1)
+	for i := 1; i <= k; i++ {
+		h.AddEdge(0, i)
+	}
+	return h
+}
+
+// CycleGraph returns the n-cycle query (n ≥ 3), the canonical
+// 2-degenerate cyclic query.
+func CycleGraph(n int) *Hypergraph {
+	h := New(n)
+	for i := 0; i < n; i++ {
+		h.AddEdge(i, (i+1)%n)
+	}
+	return h
+}
+
+// CliqueGraph returns the k-clique query of the paper's open problem
+// (Appendix B), with all C(k,2) binary relations.
+func CliqueGraph(k int) *Hypergraph {
+	h := New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			h.AddEdge(i, j)
+		}
+	}
+	return h
+}

@@ -1,0 +1,237 @@
+// Package mcm implements the Matrix Chain Multiplication problem of
+// Section 6 (Problem 1.1): k matrices A_i ∈ F₂^{N×N} and a vector
+// x ∈ F₂^N sit in order on a line of k+2 players, and player P_{k+1}
+// must learn A_k···A_1·x.
+//
+// Three protocols are implemented on the round simulator:
+//
+//   - Sequential (Proposition 6.1): P_i computes the partial product
+//     y_i = A_i·y_{i-1} and forwards it — Θ(kN) rounds, tight for k ≤ N
+//     by the min-entropy lower bound (Theorem 6.4);
+//   - Merge (Appendix I.1): a bottom-up doubling merge of matrix
+//     products — O(N²·log k + k) rounds, preferable when k ≫ N;
+//   - Trivial: ship every matrix to the sink — Θ(kN²) rounds
+//     (footnote 18).
+//
+// LowerBoundRounds evaluates the Ω(kN) bound of Theorem 6.4.
+package mcm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/f2"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Instance is one MCM input: X at P₀ and A[i] at P_{i+1} on a line of
+// K+2 players.
+type Instance struct {
+	K, N int
+	A    []*f2.Matrix
+	X    *f2.Vector
+}
+
+// RandomInstance samples uniform matrices and vector.
+func RandomInstance(k, n int, r *rand.Rand) *Instance {
+	ins := &Instance{K: k, N: n, X: f2.RandomVector(n, r)}
+	for i := 0; i < k; i++ {
+		ins.A = append(ins.A, f2.RandomMatrix(n, n, r))
+	}
+	return ins
+}
+
+// Validate checks dimensions.
+func (ins *Instance) Validate() error {
+	if ins.K < 1 || ins.N < 1 {
+		return fmt.Errorf("mcm: need k ≥ 1 and N ≥ 1, got %d, %d", ins.K, ins.N)
+	}
+	if len(ins.A) != ins.K {
+		return fmt.Errorf("mcm: %d matrices for k = %d", len(ins.A), ins.K)
+	}
+	if ins.X == nil || ins.X.Len() != ins.N {
+		return fmt.Errorf("mcm: vector dimension mismatch")
+	}
+	for i, a := range ins.A {
+		if a.Rows() != ins.N || a.Cols() != ins.N {
+			return fmt.Errorf("mcm: matrix %d is %dx%d, want %dx%d", i, a.Rows(), a.Cols(), ins.N, ins.N)
+		}
+	}
+	return nil
+}
+
+// Answer computes A_k···A_1·x locally (the correctness oracle).
+func (ins *Instance) Answer() *f2.Vector {
+	y := ins.X.Clone()
+	for _, a := range ins.A {
+		y = a.MulVec(y)
+	}
+	return y
+}
+
+// Report carries a protocol's measured cost.
+type Report struct {
+	Protocol string
+	Rounds   int
+	Bits     int64
+}
+
+// line returns the k+2 player line topology P₀—P₁—...—P_{k+1}.
+func (ins *Instance) line() *topology.Graph { return topology.Line(ins.K + 2) }
+
+// Sequential runs Proposition 6.1: y_i = A_i·y_{i-1} computed in place,
+// each partial product shipped one hop (N bits per transfer, B bits per
+// round). The matrix-vector product needs the whole input vector, so
+// transfers cannot pipeline across hops: Θ(k·N/B) rounds.
+func Sequential(ins *Instance, bitsPerRound int) (*f2.Vector, Report, error) {
+	rep := Report{Protocol: "sequential"}
+	if err := ins.Validate(); err != nil {
+		return nil, rep, err
+	}
+	net, err := netsim.New(ins.line(), bitsPerRound)
+	if err != nil {
+		return nil, rep, err
+	}
+	y := ins.X.Clone()
+	done := 0
+	for i := 0; i <= ins.K; i++ {
+		// P_i holds y_{i-1}; sends it to P_{i+1}, who multiplies.
+		done, err = net.SendBits(i, i+1, done, ins.N)
+		if err != nil {
+			return nil, rep, err
+		}
+		if i < ins.K {
+			y = ins.A[i].MulVec(y)
+		}
+	}
+	// The final hop P_k → P_{k+1} above already delivered y_k.
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return y, rep, nil
+}
+
+// Merge runs the Appendix I.1 doubling protocol: in iteration t, every
+// player whose index i satisfies i mod 2^t = 2^{t-1} routes its
+// accumulated product B (N² bits) to the player 2^{t-1} positions to its
+// right, which multiplies. After ⌈log₂ k⌉ iterations P_k holds
+// A_k···A_1; x then travels from P₀ to P_k and the result one hop
+// further. Segments are disjoint, so each iteration pipelines in
+// N²/B + 2^{t-1} − 1 rounds: O(N²·log k + k) in total.
+func Merge(ins *Instance, bitsPerRound int) (*f2.Vector, Report, error) {
+	rep := Report{Protocol: "merge"}
+	if err := ins.Validate(); err != nil {
+		return nil, rep, err
+	}
+	g := ins.line()
+	net, err := netsim.New(g, bitsPerRound)
+	if err != nil {
+		return nil, rep, err
+	}
+	// acc[i] = product accumulated at player P_{i+1} (1-based matrices).
+	type hold struct {
+		m     *f2.Matrix
+		ready int
+	}
+	acc := make(map[int]*hold, ins.K)
+	for i := 1; i <= ins.K; i++ {
+		acc[i] = &hold{m: ins.A[i-1].Clone()}
+	}
+	for span := 1; span < ins.K; span *= 2 {
+		for i := span; i+span <= ins.K; i += 2 * span {
+			src, dst := acc[i], acc[i+span]
+			path := make([]int, 0, span+1)
+			for p := i; p <= i+span; p++ {
+				path = append(path, p)
+			}
+			done, err := net.RoutePath(path, maxInt(src.ready, dst.ready), ins.N*ins.N)
+			if err != nil {
+				return nil, rep, err
+			}
+			dst.m = dst.m.Mul(src.m)
+			dst.ready = done
+			delete(acc, i)
+		}
+	}
+	// The surviving accumulators are at positions k, k-2span, ...; fold
+	// any stragglers into P_k (happens when k is not a power of two).
+	final := acc[ins.K]
+	for i := ins.K - 1; i >= 1; i-- {
+		h, ok := acc[i]
+		if !ok {
+			continue
+		}
+		path := make([]int, 0, ins.K-i+1)
+		for p := i; p <= ins.K; p++ {
+			path = append(path, p)
+		}
+		done, err := net.RoutePath(path, maxInt(h.ready, final.ready), ins.N*ins.N)
+		if err != nil {
+			return nil, rep, err
+		}
+		final.m = final.m.Mul(h.m)
+		final.ready = done
+	}
+	// Ship x from P₀ to P_k (pipelined), multiply, and forward y_k.
+	path := make([]int, ins.K+1)
+	for p := range path {
+		path[p] = p
+	}
+	xDone, err := net.RoutePath(path, 0, ins.N)
+	if err != nil {
+		return nil, rep, err
+	}
+	y := final.m.MulVec(ins.X)
+	if _, err := net.SendBits(ins.K, ins.K+1, maxInt(xDone, final.ready), ins.N); err != nil {
+		return nil, rep, err
+	}
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return y, rep, nil
+}
+
+// Trivial ships every matrix (N² bits each) and the vector to P_{k+1},
+// which computes locally: Θ(k·N²) rounds on the line (footnote 18).
+func Trivial(ins *Instance, bitsPerRound int) (*f2.Vector, Report, error) {
+	rep := Report{Protocol: "trivial"}
+	if err := ins.Validate(); err != nil {
+		return nil, rep, err
+	}
+	g := ins.line()
+	net, err := netsim.New(g, bitsPerRound)
+	if err != nil {
+		return nil, rep, err
+	}
+	sink := ins.K + 1
+	for i := 0; i <= ins.K; i++ {
+		bits := ins.N * ins.N
+		if i == 0 {
+			bits = ins.N
+		}
+		path := make([]int, 0, sink-i+1)
+		for p := i; p <= sink; p++ {
+			path = append(path, p)
+		}
+		if _, err := net.RoutePath(path, 0, bits); err != nil {
+			return nil, rep, err
+		}
+	}
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return ins.Answer(), rep, nil
+}
+
+// LowerBoundRounds evaluates the Theorem 6.4 bound: any protocol
+// succeeding with probability ≥ 1/2 needs more than γ(k+1)N/4 rounds,
+// with γ = 0.01 satisfying condition (7) of Lemma 6.2.
+func LowerBoundRounds(k, n int) float64 {
+	const gamma = 0.01
+	return gamma * float64(k+1) * float64(n) / 4
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package mcm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllProtocolsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		k := 1 + r.Intn(6)
+		n := 2 + r.Intn(12)
+		ins := RandomInstance(k, n, r)
+		want := ins.Answer()
+		y1, _, err := Sequential(ins, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, _, err := Merge(ins, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y3, _, err := Trivial(ins, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !y1.Equal(want) || !y2.Equal(want) || !y3.Equal(want) {
+			t.Fatalf("protocol answers disagree with local product (k=%d n=%d)", k, n)
+		}
+	}
+}
+
+func TestSequentialRoundsThetaKN(t *testing.T) {
+	// Proposition 6.1: (k+1) sequential hops of N bits at 1 bit/round.
+	r := rand.New(rand.NewSource(1))
+	k, n := 8, 32
+	ins := RandomInstance(k, n, r)
+	_, rep, err := Sequential(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (k + 1) * n
+	if rep.Rounds != want {
+		t.Errorf("sequential rounds = %d, want (k+1)N = %d", rep.Rounds, want)
+	}
+}
+
+func TestTrivialRoundsThetaKN2(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	k, n := 6, 16
+	ins := RandomInstance(k, n, r)
+	_, rep, err := Trivial(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last edge alone carries k·N² + N bits at 1 bit per round.
+	if rep.Rounds < k*n*n {
+		t.Errorf("trivial rounds = %d, want ≥ kN² = %d", rep.Rounds, k*n*n)
+	}
+}
+
+func TestMergeBeatsSequentialForLargeK(t *testing.T) {
+	// Appendix I.1: for k ≫ N the doubling merge (N²·log k + k) beats
+	// the sequential kN.
+	r := rand.New(rand.NewSource(3))
+	n := 4
+	k := 256
+	ins := RandomInstance(k, n, r)
+	_, seq, err := Sequential(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mrg, err := Merge(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrg.Rounds >= seq.Rounds {
+		t.Errorf("merge (%d) should beat sequential (%d) at k=%d N=%d",
+			mrg.Rounds, seq.Rounds, k, n)
+	}
+}
+
+func TestSequentialBeatsMergeForSmallK(t *testing.T) {
+	// For k ≤ N the sequential protocol is optimal (Theorem 6.4).
+	r := rand.New(rand.NewSource(4))
+	n := 32
+	k := 4
+	ins := RandomInstance(k, n, r)
+	_, seq, err := Sequential(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mrg, err := Merge(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds >= mrg.Rounds {
+		t.Errorf("sequential (%d) should beat merge (%d) at k=%d N=%d",
+			seq.Rounds, mrg.Rounds, k, n)
+	}
+}
+
+func TestLowerBoundBelowSequential(t *testing.T) {
+	// The Ω(kN) bound must sit below the (k+1)N sequential cost but
+	// scale the same way.
+	for _, kn := range [][2]int{{4, 16}, {8, 32}, {16, 64}} {
+		k, n := kn[0], kn[1]
+		lb := LowerBoundRounds(k, n)
+		seq := float64((k + 1) * n)
+		if lb <= 0 || lb >= seq {
+			t.Errorf("LB = %v outside (0, %v)", lb, seq)
+		}
+		ratio := seq / lb
+		if ratio > 500 { // γ/4 = 1/400
+			t.Errorf("LB/UB ratio %v implausibly large", ratio)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ins := RandomInstance(3, 4, r)
+	ins.A = ins.A[:2]
+	if err := ins.Validate(); err == nil {
+		t.Error("expected error for missing matrix")
+	}
+	if _, _, err := Sequential(&Instance{K: 0, N: 4}, 1); err == nil {
+		t.Error("expected error for k = 0")
+	}
+}
+
+func TestWiderChannelsScaleDown(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	ins := RandomInstance(4, 32, r)
+	_, rep1, err := Sequential(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep8, err := Sequential(ins, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep8.Rounds*8 != rep1.Rounds {
+		t.Errorf("8-bit channels: %d rounds, want %d", rep8.Rounds, rep1.Rounds/8)
+	}
+}

@@ -1,0 +1,92 @@
+// Package mpc instantiates the paper's protocols inside the MPC-style
+// topologies of Appendix A, reproducing the comparison of Sections
+// A.1.4 and A.2.3:
+//
+//   - MPC(0) (Model A.1): k players each joined to a p-hub clique; the
+//     star protocol packs p diameter-2 Steiner trees, so its rounds
+//     scale as N/p + O(1) — the Θ̃(1)-round regime once channel widths
+//     match the MPC node capacity L = Ω(kN/p);
+//   - MPC(ε) (Model A.2): a p-clique with factors spread round-robin;
+//     the packing yields ⌊p/2⌋ trees and rounds ≈ N/(p/2) + O(1).
+package mpc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Result reports one MPC comparison run.
+type Result struct {
+	Rounds int
+	Bits   int64
+	// Answer is the BCQ value computed by the protocol.
+	Answer bool
+}
+
+var sb = semiring.Bool{}
+
+// runStar executes the star BCQ on the given topology/assignment and
+// extracts the Boolean answer.
+func runStar(q *faq.Query[bool], g *topology.Graph, assign protocol.Assignment, out, bitsPerRound int) (*Result, error) {
+	s := &protocol.Setup[bool]{Q: q, G: g, Assign: assign, Output: out, BitsPerRound: bitsPerRound}
+	ans, rep, err := protocol.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	v, err := relation.ScalarValue(sb, ans)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rounds: rep.Rounds, Bits: rep.Bits, Answer: v}, nil
+}
+
+// Star0 runs the star BCQ with k relations of size n on the MPC(0)
+// topology with p hub nodes (Model A.1), player i holding relation i.
+// bitsPerRound models the per-channel share L′ = L/k of the node
+// capacity (0 selects the paper's default tuple width).
+func Star0(k, p, n, dom, bitsPerRound int, r *rand.Rand) (*Result, error) {
+	if k < 2 || p < 1 {
+		return nil, fmt.Errorf("mpc: need k ≥ 2 players and p ≥ 1 hubs")
+	}
+	h := hypergraph.StarGraph(k)
+	q := workload.BCQ(h, n, dom, r)
+	g, players := topology.MPC0(k, p)
+	assign := make(protocol.Assignment, k)
+	copy(assign, players)
+	return runStar(q, g, assign, players[0], bitsPerRound)
+}
+
+// StarEps runs the star BCQ with k relations on a p-node clique
+// (Model A.2 shape), factors spread round-robin over the p nodes.
+func StarEps(k, p, n, dom, bitsPerRound int, r *rand.Rand) (*Result, error) {
+	if k < 2 || p < 2 {
+		return nil, fmt.Errorf("mpc: need k ≥ 2 relations and p ≥ 2 nodes")
+	}
+	h := hypergraph.StarGraph(k)
+	q := workload.BCQ(h, n, dom, r)
+	g := topology.Clique(p)
+	players := make([]int, p)
+	for i := range players {
+		players[i] = i
+	}
+	assign := workload.RoundRobinAssignment(k, players)
+	return runStar(q, g, assign, 0, bitsPerRound)
+}
+
+// Mpc0RoundBound is the Appendix A.1.4 prediction for the MPC(0) star:
+// with p diameter-2 Steiner trees the protocol needs ≈ N/p + O(1)
+// rounds (Θ̃(1) once each channel carries L′ = L/k = N/p bits per
+// round).
+func Mpc0RoundBound(n, p int) float64 { return float64(n)/float64(p) + 2 }
+
+// MpcEpsRoundBound is the Appendix A.2.3 analogue on the p-clique:
+// ⌊p/2⌋ Hamiltonian-path trees give ≈ N/(p/2) + O(1) rounds.
+func MpcEpsRoundBound(n, p int) float64 { return float64(n)/float64(p/2) + float64(2) }

@@ -1,0 +1,67 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStar0RoundsShrinkWithHubs(t *testing.T) {
+	// Appendix A.1.4: more hubs ⇒ more diameter-2 Steiner trees ⇒
+	// fewer rounds, approaching the MPC(0) constant-round regime.
+	n := 64
+	r2, err := Star0(4, 2, n, n, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Star0(4, 8, n, n, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Rounds >= r2.Rounds {
+		t.Errorf("p=8 (%d rounds) should beat p=2 (%d rounds)", r8.Rounds, r2.Rounds)
+	}
+	if float64(r8.Rounds) > 4*Mpc0RoundBound(n, 8)+8 {
+		t.Errorf("p=8 rounds %d far above bound %v", r8.Rounds, Mpc0RoundBound(n, 8))
+	}
+}
+
+func TestStarEpsCliquePacking(t *testing.T) {
+	n := 64
+	res, err := StarEps(6, 6, n, n, 0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Rounds) > 4*MpcEpsRoundBound(n, 6)+16 {
+		t.Errorf("rounds %d far above clique bound %v", res.Rounds, MpcEpsRoundBound(n, 6))
+	}
+}
+
+func TestMPCValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if _, err := Star0(1, 2, 8, 8, 0, r); err == nil {
+		t.Error("expected error for k < 2")
+	}
+	if _, err := StarEps(4, 1, 8, 8, 0, r); err == nil {
+		t.Error("expected error for p < 2")
+	}
+}
+
+func TestWiderChannelsApproachMPCRegime(t *testing.T) {
+	// With per-round channel width scaled up to L′ = N·logD/p bits, the
+	// star finishes in O(1) rounds like MPC(0)'s one-round protocol.
+	n, p := 64, 8
+	narrow, err := Star0(4, p, n, n, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Star0(4, p, n, n, 1024, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Rounds >= narrow.Rounds {
+		t.Errorf("wide channels (%d rounds) should beat narrow (%d)", wide.Rounds, narrow.Rounds)
+	}
+	if wide.Rounds > 8 {
+		t.Errorf("wide-channel rounds = %d, want O(1)", wide.Rounds)
+	}
+}

@@ -1,0 +1,333 @@
+// Package netsim simulates the synchronous distributed network of
+// Model 2.1: in each round, at most B = O(r·log₂ D) bits cross each edge
+// of the topology, and a protocol's cost is the index of the last round
+// in which any bit moves.
+//
+// Protocols are expressed as compositions of causal scheduling primitives
+// over a round-indexed edge-capacity ledger: a hop can forward data no
+// earlier than the round after it received it, and reservations never
+// exceed an edge's per-round capacity. Round counts reported by the
+// simulator are therefore exactly the model's round complexity for the
+// schedule at hand. Data transformation (semijoins, aggregation) happens
+// in protocol code; the simulator accounts for movement.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Network wraps a topology with a per-(edge, round) bit ledger.
+type Network struct {
+	g *topology.Graph
+	b int // bits per edge per round
+
+	used      [][]int // used[edge][round] = bits reserved
+	lastRound int     // highest round index reserved, -1 when idle
+	totalBits int64
+}
+
+// New returns a simulator over g where each edge carries bitsPerRound
+// bits per round (the paper's B = O(r·log₂ D)).
+func New(g *topology.Graph, bitsPerRound int) (*Network, error) {
+	if bitsPerRound <= 0 {
+		return nil, fmt.Errorf("netsim: bits per round must be positive, got %d", bitsPerRound)
+	}
+	return &Network{
+		g:         g,
+		b:         bitsPerRound,
+		used:      make([][]int, g.M()),
+		lastRound: -1,
+	}, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// BitsPerRound returns the edge capacity B.
+func (n *Network) BitsPerRound() int { return n.b }
+
+// Rounds returns the number of rounds the schedule uses so far (the
+// paper's round complexity): lastOccupiedRound + 1.
+func (n *Network) Rounds() int { return n.lastRound + 1 }
+
+// TotalBits returns the total bits moved (for communication-volume
+// comparisons with the total-communication literature, Section 7).
+func (n *Network) TotalBits() int64 { return n.totalBits }
+
+// Reset clears the ledger.
+func (n *Network) Reset() {
+	n.used = make([][]int, n.g.M())
+	n.lastRound = -1
+	n.totalBits = 0
+}
+
+// reserve books `bits` (≤ B) on edge e at the earliest round ≥ r with
+// spare capacity, returning the booked round.
+func (n *Network) reserve(e, r, bits int) int {
+	for {
+		for len(n.used[e]) <= r {
+			n.used[e] = append(n.used[e], 0)
+		}
+		if n.used[e][r]+bits <= n.b {
+			n.used[e][r] += bits
+			if r > n.lastRound {
+				n.lastRound = r
+			}
+			n.totalBits += int64(bits)
+			return r
+		}
+		r++
+	}
+}
+
+// Reserve books a message of the given size (≤ B) on the channel between
+// adjacent nodes u and v, at the earliest round ≥ earliest with spare
+// capacity, and returns the round at which the receiver holds it (booked
+// round + 1). It is the low-level primitive behind the pipelined keyed
+// schedules of the protocol package.
+func (n *Network) Reserve(u, v, earliest, bits int) (int, error) {
+	if earliest < 0 || bits <= 0 {
+		return 0, fmt.Errorf("netsim: invalid reserve (round %d, %d bits)", earliest, bits)
+	}
+	if bits > n.b {
+		return 0, fmt.Errorf("netsim: reserve of %d bits exceeds capacity %d", bits, n.b)
+	}
+	e, err := n.edgeOf(u, v)
+	if err != nil {
+		return 0, err
+	}
+	return n.reserve(e, earliest, bits) + 1, nil
+}
+
+// edgeOf validates adjacency and returns the edge id.
+func (n *Network) edgeOf(u, v int) (int, error) {
+	id, ok := n.g.EdgeID(u, v)
+	if !ok {
+		return 0, fmt.Errorf("netsim: no channel between %d and %d", u, v)
+	}
+	return id, nil
+}
+
+// SendBits transmits a message of the given size from u to its neighbor
+// v, starting no earlier than round start. Large messages split into
+// ⌈bits/B⌉ sequential per-round reservations. It returns the first round
+// at which v fully holds the message (protocols chain the next step from
+// that round).
+func (n *Network) SendBits(u, v, start, bits int) (int, error) {
+	if start < 0 || bits < 0 {
+		return 0, fmt.Errorf("netsim: negative start/bits")
+	}
+	e, err := n.edgeOf(u, v)
+	if err != nil {
+		return 0, err
+	}
+	if bits == 0 {
+		return start, nil
+	}
+	r := start
+	remaining := bits
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > n.b {
+			chunk = n.b
+		}
+		r = n.reserve(e, r, chunk) + 1
+		remaining -= chunk
+	}
+	return r, nil
+}
+
+// RoutePath pipelines a message of the given size along a path
+// (consecutive vertices must be adjacent): chunk c may leave hop i only
+// in a round after it arrived there. For an uncontended path of length L
+// this completes in ⌈bits/B⌉ + L − 1 rounds. Returns the delivery round.
+func (n *Network) RoutePath(path []int, start, bits int) (int, error) {
+	if len(path) == 0 {
+		return 0, fmt.Errorf("netsim: empty path")
+	}
+	if start < 0 || bits < 0 {
+		return 0, fmt.Errorf("netsim: negative start/bits")
+	}
+	if len(path) == 1 || bits == 0 {
+		return start, nil
+	}
+	edges := make([]int, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		e, err := n.edgeOf(path[i], path[i+1])
+		if err != nil {
+			return 0, err
+		}
+		edges[i] = e
+	}
+	finish := start
+	remaining := bits
+	ready := start // round at which the next chunk is available at hop 0
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > n.b {
+			chunk = n.b
+		}
+		r := ready
+		for _, e := range edges {
+			r = n.reserve(e, r, chunk) + 1
+		}
+		if r > finish {
+			finish = r
+		}
+		ready++ // source releases one chunk per round at the earliest
+		remaining -= chunk
+	}
+	return finish, nil
+}
+
+// Tree is a rooted edge subset of the topology used by broadcast and
+// converge-cast.
+type Tree struct {
+	Root  int
+	Edges []int
+}
+
+// children orients the tree away from the root, returning child lists
+// and the parent map.
+func (n *Network) children(t *Tree) (map[int][]int, map[int]int, error) {
+	in := make(map[int]bool, len(t.Edges))
+	for _, e := range t.Edges {
+		in[e] = true
+	}
+	ch := make(map[int][]int)
+	parent := map[int]int{t.Root: -1}
+	queue := []int{t.Root}
+	seen := map[int]bool{t.Root: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.g.Adj(u) {
+			id, _ := n.g.EdgeID(u, v)
+			if !in[id] || seen[v] {
+				continue
+			}
+			seen[v] = true
+			parent[v] = u
+			ch[u] = append(ch[u], v)
+			queue = append(queue, v)
+		}
+	}
+	reached := 0
+	for range parent {
+		reached++
+	}
+	// Count tree edges reached; a cycle or disconnected edge set is a
+	// malformed tree.
+	if reached != len(t.Edges)+1 {
+		return nil, nil, fmt.Errorf("netsim: edge set is not a tree rooted at %d", t.Root)
+	}
+	return ch, parent, nil
+}
+
+// BroadcastTree pushes a message of the given size from the root to
+// every tree node (Step 3 of Algorithm 1). Returns the round at which
+// the last node holds it.
+func (n *Network) BroadcastTree(t *Tree, start, bits int) (int, error) {
+	ch, _, err := n.children(t)
+	if err != nil {
+		return 0, err
+	}
+	finish := start
+	var walk func(u, ready int) error
+	walk = func(u, ready int) error {
+		for _, v := range ch[u] {
+			done, err := n.SendBits(u, v, ready, bits)
+			if err != nil {
+				return err
+			}
+			if done > finish {
+				finish = done
+			}
+			if err := walk(v, done); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root, start); err != nil {
+		return 0, err
+	}
+	return finish, nil
+}
+
+// ConvergeTree aggregates fixed-size messages bottom-up: every non-root
+// node sends `bits` to its parent once it has received from all its
+// children (aggregation keeps message size constant, as in the bit-wise
+// AND of Theorem 3.11). Returns the round at which the root has heard
+// from all children.
+func (n *Network) ConvergeTree(t *Tree, start, bits int) (int, error) {
+	ch, _, err := n.children(t)
+	if err != nil {
+		return 0, err
+	}
+	var walk func(u int) (int, error) // round at which u is ready to send up
+	walk = func(u int) (int, error) {
+		ready := start
+		for _, v := range ch[u] {
+			childReady, err := walk(v)
+			if err != nil {
+				return 0, err
+			}
+			done, err := n.SendBits(v, u, childReady, bits)
+			if err != nil {
+				return 0, err
+			}
+			if done > ready {
+				ready = done
+			}
+		}
+		return ready, nil
+	}
+	return walk(t.Root)
+}
+
+// StreamItems pipelines a sequence of fixed-size items along a path with
+// per-node filtering — the semijoin chains of Examples 2.1 and 2.2. Item
+// i leaves the source no earlier than round start+i (one item per round,
+// matching the one-tuple-per-round normalization); each intermediate
+// node forwards an item the round after receiving it, iff
+// keep(node, item) — the source's own filter applies before sending.
+// It returns, for each item, whether it reached the end of the path, and
+// the overall completion round.
+func (n *Network) StreamItems(path []int, start, items, itemBits int, keep func(node, item int) bool) ([]bool, int, error) {
+	if len(path) == 0 {
+		return nil, 0, fmt.Errorf("netsim: empty path")
+	}
+	if itemBits > n.b {
+		return nil, 0, fmt.Errorf("netsim: item size %d exceeds edge capacity %d", itemBits, n.b)
+	}
+	delivered := make([]bool, items)
+	finish := start
+	for i := 0; i < items; i++ {
+		r := start + i
+		alive := true
+		for h := 0; h+1 < len(path); h++ {
+			if keep != nil && !keep(path[h], i) {
+				alive = false
+				break
+			}
+			e, err := n.edgeOf(path[h], path[h+1])
+			if err != nil {
+				return nil, 0, err
+			}
+			r = n.reserve(e, r, itemBits) + 1
+		}
+		if alive && len(path) > 1 {
+			if keep != nil && !keep(path[len(path)-1], i) {
+				alive = false
+			}
+		}
+		delivered[i] = alive
+		if alive && r > finish {
+			finish = r
+		}
+	}
+	return delivered, finish, nil
+}

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestReserveBasic(t *testing.T) {
+	n := mustNet(t, topology.Line(2), 8)
+	arrive, err := n.Reserve(0, 1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != 1 {
+		t.Errorf("arrive = %d, want 1", arrive)
+	}
+	// The round is full: a second full-width reservation shifts.
+	arrive, err = n.Reserve(0, 1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != 2 {
+		t.Errorf("second arrive = %d, want 2", arrive)
+	}
+}
+
+func TestReserveSharesRound(t *testing.T) {
+	n := mustNet(t, topology.Line(2), 8)
+	a1, _ := n.Reserve(0, 1, 0, 3)
+	a2, _ := n.Reserve(1, 0, 0, 3)
+	a3, _ := n.Reserve(0, 1, 0, 3)
+	if a1 != 1 || a2 != 1 {
+		t.Errorf("two 3-bit messages should share round 0: %d, %d", a1, a2)
+	}
+	if a3 != 2 {
+		t.Errorf("third 3-bit message must shift (9 > 8 bits): arrive %d, want 2", a3)
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	n := mustNet(t, topology.Line(3), 8)
+	if _, err := n.Reserve(0, 2, 0, 4); err == nil {
+		t.Error("expected error for non-adjacent reserve")
+	}
+	if _, err := n.Reserve(0, 1, -1, 4); err == nil {
+		t.Error("expected error for negative round")
+	}
+	if _, err := n.Reserve(0, 1, 0, 0); err == nil {
+		t.Error("expected error for zero bits")
+	}
+	if _, err := n.Reserve(0, 1, 0, 9); err == nil {
+		t.Error("expected error for over-capacity reserve")
+	}
+}
+
+func TestReserveRespectsEarliest(t *testing.T) {
+	n := mustNet(t, topology.Line(2), 8)
+	arrive, err := n.Reserve(0, 1, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != 6 {
+		t.Errorf("arrive = %d, want 6 (booked at round 5)", arrive)
+	}
+	if n.Rounds() != 6 {
+		t.Errorf("rounds = %d, want 6", n.Rounds())
+	}
+}

@@ -1,0 +1,585 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faq"
+	"repro/internal/flow"
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/netsim"
+	"repro/internal/relation"
+	"repro/internal/topology"
+)
+
+// runner executes the paper's main protocol (Theorem 4.1 / F.1 / G.4) on
+// one GYO-GHD: bottom-up star reductions over the forest part
+// (Lemma 4.1, Algorithms 1–3), then the trivial protocol on the cyclic
+// core (Lemma 4.2), with every transmission booked on the simulator's
+// capacity ledger.
+type runner[T any] struct {
+	s   *Setup[T]
+	net *netsim.Network
+	g   *ghd.GHD
+
+	rel    []*relation.Relation[T] // current relation per GHD node
+	owner  []int                   // current holder per GHD node (-1: none)
+	finish []int                   // round at which the node's relation is ready
+}
+
+// Run executes the main protocol end to end and returns the answer
+// relation (schema = the query's free variables) plus the measured cost.
+func Run[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
+	gh, err := ghd.Minimize(s.Q.H)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	gh, err = faq.RootForFree(gh, s.Q.Free)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return RunOnGHD(s, gh)
+}
+
+// RunOnGHD is Run on a caller-chosen decomposition (ablation studies
+// schedule the same query on differently-shaped GHDs).
+func RunOnGHD[T any](s *Setup[T], gh *ghd.GHD) (*relation.Relation[T], Report, error) {
+	rep := Report{Protocol: "faq-main"}
+	if err := s.Validate(); err != nil {
+		return nil, rep, err
+	}
+	if err := gh.Validate(); err != nil {
+		return nil, rep, err
+	}
+	for _, v := range s.Q.Free {
+		if !hypergraph.ContainsSorted(gh.Bags[gh.Root], v) {
+			return nil, rep, fmt.Errorf("protocol: free variable %d outside root bag (F ⊆ V(C(H)) required)", v)
+		}
+	}
+	net, err := netsim.New(s.G, s.Bits())
+	if err != nil {
+		return nil, rep, err
+	}
+	r := &runner[T]{
+		s:      s,
+		net:    net,
+		g:      gh,
+		rel:    make([]*relation.Relation[T], gh.NumNodes()),
+		owner:  make([]int, gh.NumNodes()),
+		finish: make([]int, gh.NumNodes()),
+	}
+	for i := range r.owner {
+		r.owner[i] = -1
+	}
+	for e, v := range gh.NodeOf {
+		r.rel[v] = s.Q.Factors[e]
+		r.owner[v] = s.Assign[e]
+	}
+
+	ch := gh.Children()
+	for _, v := range gh.PostOrder() {
+		if len(ch[v]) == 0 {
+			continue
+		}
+		if v == gh.Root && v == gh.CoreRoot {
+			if err := r.corePhase(v, ch[v]); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		// The converged map must land where the center relation lives
+		// (R′_P filters the center's tuples), so the star target is the
+		// center owner; finalize() ships the (aggregated, small) answer
+		// to the output player afterwards.
+		if err := r.starReduce(v, ch[v], r.owner[v]); err != nil {
+			return nil, rep, err
+		}
+	}
+
+	ans, err := r.finalize()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return ans, rep, nil
+}
+
+// childMessage aggregates the private variables out of a child's current
+// relation (the push-down of Corollary G.2): everything in χ(c) not
+// shared with the parent bag is bound (free variables are in the root
+// bag, hence by the running intersection property also in the parent
+// bag) and is eliminated innermost-first with its per-variable operator.
+func (r *runner[T]) childMessage(c, parent int) (*relation.Relation[T], error) {
+	msg := r.rel[c]
+	schema := msg.Schema()
+	parentBag := r.g.Bags[parent]
+	for i := len(schema) - 1; i >= 0; i-- {
+		x := schema[i]
+		if hypergraph.ContainsSorted(parentBag, x) {
+			continue
+		}
+		var err error
+		msg, err = relation.EliminateVar(r.s.Q.S, msg, x, r.s.Q.Op(x), r.s.Q.DomSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return msg, nil
+}
+
+// starReduce runs Algorithm 1/2/3 on the star centered at GHD node v
+// with the given children, leaving R′_P at the target player.
+func (r *runner[T]) starReduce(v int, children []int, target int) error {
+	q := r.s.Q
+	start := r.finish[v]
+	msgs := make(map[int]*relation.Relation[T], len(children))
+	msgOwner := make(map[int]int, len(children))
+	for _, c := range children {
+		m, err := r.childMessage(c, v)
+		if err != nil {
+			return err
+		}
+		msgs[c] = m
+		msgOwner[c] = r.owner[c]
+		if r.finish[c] > start {
+			start = r.finish[c]
+		}
+	}
+
+	// Player set of this star.
+	K := []int{target, r.owner[v]}
+	for _, c := range children {
+		K = append(K, r.owner[c])
+	}
+	K = topology.SortedUnique(K)
+
+	if len(K) == 1 {
+		// Everything is already co-located: a purely local reduction.
+		r.rel[v] = localStar(q, r.rel[v], children, msgs)
+		r.owner[v] = target
+		r.finish[v] = start
+		return nil
+	}
+
+	// Fast path (Examples 2.1–2.3): every child shares the same
+	// variable set W with the center, so converged (key, value) streams
+	// over π_W need no prior broadcast of the center relation.
+	shared := make(map[int][]int, len(children))
+	fast := true
+	var w []int
+	for i, c := range children {
+		sc := msgs[c].Schema()
+		shared[c] = sc
+		if i == 0 {
+			w = sc
+		} else if !equalIntSlices(w, sc) {
+			fast = false
+		}
+	}
+
+	units := 0
+	for _, c := range children {
+		if msgs[c].Len() > units {
+			units = msgs[c].Len()
+		}
+	}
+	if !fast && r.rel[v].Len() > units {
+		units = r.rel[v].Len()
+	}
+	if units == 0 {
+		units = 1
+	}
+	_, packing, _, err := flow.BestDelta(r.s.G, K, units)
+	if err != nil {
+		return err
+	}
+
+	var converged map[string]T
+	var done int
+	if fast {
+		converged, done, err = r.fastStar(v, children, msgs, msgOwner, target, packing, start)
+	} else {
+		converged, done, err = r.generalStar(v, children, msgs, msgOwner, target, packing, start)
+	}
+	if err != nil {
+		return err
+	}
+
+	// R′_P: center tuples filtered and weighted by the converged map.
+	var keyCols []int
+	if fast {
+		keyCols = columnsOf(r.rel[v].Schema(), w)
+	}
+	b := relation.NewBuilder(q.S, r.rel[v].Schema())
+	tuple := make([]int, r.rel[v].Arity())
+	for i := 0; i < r.rel[v].Len(); i++ {
+		t := r.rel[v].Tuple(i)
+		var key string
+		if fast {
+			key = encodeCols(t, keyCols)
+		} else {
+			key = encodeInts(int32(i))
+		}
+		m, ok := converged[key]
+		if !ok {
+			continue
+		}
+		for k := range t {
+			tuple[k] = int(t[k])
+		}
+		b.Add(tuple, q.S.Mul(r.rel[v].Value(i), m))
+	}
+	r.rel[v] = b.Build()
+	r.owner[v] = target
+	r.finish[v] = done
+	return nil
+}
+
+// fastStar converges keyed messages π_W directly (no broadcast): the
+// pipelined semijoin chains of Examples 2.1–2.3 generalized to Steiner
+// packings.
+func (r *runner[T]) fastStar(v int, children []int, msgs map[int]*relation.Relation[T],
+	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int) (map[string]T, int, error) {
+	q := r.s.Q
+	itemBits := clampBits(r.s.TupleBits(len(msgs[children[0]].Schema())), r.s.Bits())
+	// Per-player local contribution: intersect keys across the player's
+	// children, multiplying values.
+	playerMaps := make(map[int]map[string]T)
+	for _, c := range children {
+		m := relationToMap(q, msgs[c], nil)
+		o := msgOwner[c]
+		if cur, ok := playerMaps[o]; ok {
+			playerMaps[o] = intersectMaps(q, cur, m)
+		} else {
+			playerMaps[o] = m
+		}
+	}
+	return r.convergeOverPacking(playerMaps, target, packing, start, itemBits)
+}
+
+// generalStar implements the heterogeneous-star case of Algorithm 1:
+// the center relation is first broadcast over the packing (chunked per
+// tree), each child owner computes its value vector over the center's
+// tuple indices, and the vectors converge with component-wise ⊗
+// (footnote 24).
+func (r *runner[T]) generalStar(v int, children []int, msgs map[int]*relation.Relation[T],
+	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int) (map[string]T, int, error) {
+	q := r.s.Q
+	center := r.rel[v]
+	src := r.owner[v]
+	tupleBits := clampBits(r.s.TupleBits(center.Arity()), r.s.Bits())
+
+	// Broadcast the center relation, chunked across the packing with the
+	// same key-hash chunking the converge phase uses.
+	broadcastDone := make([]int, len(packing))
+	for ti, st := range packing {
+		n := 0
+		for i := 0; i < center.Len(); i++ {
+			if chunkOf(encodeInts(int32(i)), len(packing)) == ti {
+				n++
+			}
+		}
+		spec := &broadcastSpec{
+			net:      r.net,
+			tree:     &netsim.Tree{Root: src, Edges: st.Edges},
+			start:    start,
+			items:    n,
+			itemBits: tupleBits,
+		}
+		done, err := spec.run()
+		if err != nil {
+			return nil, 0, err
+		}
+		broadcastDone[ti] = done
+	}
+
+	// Each player's vector over center tuple indices: for every child it
+	// owns, index i survives iff the child's message has the matching
+	// key; values multiply.
+	idxBits := clampBits(bitsLen(maxInt(center.Len(), 2)-1)+r.s.ValueBits(), r.s.Bits())
+	playerMaps := make(map[int]map[string]T)
+	for _, c := range children {
+		cols := columnsOf(center.Schema(), msgs[c].Schema())
+		lookup := relationToMap(q, msgs[c], nil)
+		vec := make(map[string]T, center.Len())
+		for i := 0; i < center.Len(); i++ {
+			key := encodeCols(center.Tuple(i), cols)
+			val, ok := lookup[key]
+			if !ok {
+				continue
+			}
+			vec[encodeInts(int32(i))] = val
+		}
+		o := msgOwner[c]
+		if cur, ok := playerMaps[o]; ok {
+			playerMaps[o] = intersectMaps(q, cur, vec)
+		} else {
+			playerMaps[o] = vec
+		}
+	}
+	// Converge each chunk after its broadcast completes.
+	return r.convergeOverPackingStaggered(playerMaps, target, packing, broadcastDone, idxBits)
+}
+
+// convergeOverPacking runs one keyed converge-cast per packed tree
+// (chunked by key hash) and merges the root streams.
+func (r *runner[T]) convergeOverPacking(playerMaps map[int]map[string]T, target int,
+	packing []*flow.SteinerTree, start, itemBits int) (map[string]T, int, error) {
+	starts := make([]int, len(packing))
+	for i := range starts {
+		starts[i] = start
+	}
+	return r.convergeOverPackingStaggered(playerMaps, target, packing, starts, itemBits)
+}
+
+func (r *runner[T]) convergeOverPackingStaggered(playerMaps map[int]map[string]T, target int,
+	packing []*flow.SteinerTree, starts []int, itemBits int) (map[string]T, int, error) {
+	q := r.s.Q
+	var terminals []int
+	for u := range playerMaps {
+		terminals = append(terminals, u)
+	}
+	terminals = topology.SortedUnique(append(terminals, target))
+	out := make(map[string]T)
+	finish := 0
+	for _, s := range starts {
+		if s > finish {
+			finish = s
+		}
+	}
+	for ti, st := range packing {
+		tree := pruneToTerminals(r.s.G, &netsim.Tree{Root: target, Edges: st.Edges}, terminals)
+		spec := &convergeSpec[T]{
+			net:      r.net,
+			tree:     tree,
+			start:    starts[ti],
+			itemBits: itemBits,
+			local: func(node int) map[string]T {
+				full, ok := playerMaps[node]
+				if !ok {
+					return nil
+				}
+				m := make(map[string]T)
+				for k, val := range full {
+					if chunkOf(k, len(packing)) == ti {
+						m[k] = val
+					}
+				}
+				return m
+			},
+			combine: q.S.Mul,
+		}
+		stream, err := spec.run()
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, k := range stream.keys {
+			tv := stream.m[k]
+			out[k] = tv.val
+			if tv.ready > finish {
+				finish = tv.ready
+			}
+		}
+	}
+	return out, finish, nil
+}
+
+// corePhase finishes a cyclic query: children of the fat root (core
+// factors and reduced pendant-tree roots) are routed to the output
+// player with the trivial protocol (Lemma 3.1), which then joins them
+// and aggregates the remaining bound variables.
+func (r *runner[T]) corePhase(root int, children []int) error {
+	q := r.s.Q
+	out := r.s.Output
+	for _, c := range children {
+		src := r.owner[c]
+		if src == out {
+			continue
+		}
+		bits := r.rel[c].Len() * r.s.TupleBits(r.rel[c].Arity())
+		if bits == 0 {
+			continue
+		}
+		res, err := flow.MaxFlow(r.s.G, src, out)
+		if err != nil {
+			return err
+		}
+		if res.Value == 0 {
+			return fmt.Errorf("protocol: no route from %d to %d", src, out)
+		}
+		share := ceilDiv(bits, res.Value)
+		done := r.finish[c]
+		for _, p := range res.Paths {
+			d, err := r.net.RoutePath(p, r.finish[c], share)
+			if err != nil {
+				return err
+			}
+			if d > done {
+				done = d
+			}
+		}
+		r.finish[c] = done
+	}
+	// Local computation at the output: join everything, aggregate the
+	// bound variables innermost-first.
+	cur := relation.Unit(q.S, q.S.One())
+	done := 0
+	for _, c := range children {
+		cur = relation.Join(q.S, cur, r.rel[c])
+		if r.finish[c] > done {
+			done = r.finish[c]
+		}
+	}
+	free := make(map[int]bool, len(q.Free))
+	for _, x := range q.Free {
+		free[x] = true
+	}
+	schema := cur.Schema()
+	for i := len(schema) - 1; i >= 0; i-- {
+		x := schema[i]
+		if free[x] {
+			continue
+		}
+		var err error
+		cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
+		if err != nil {
+			return err
+		}
+	}
+	r.rel[root] = cur
+	r.owner[root] = out
+	r.finish[root] = done
+	return nil
+}
+
+// finalize aggregates the root relation down to the free variables at
+// its owner and ships the answer to the output player if needed.
+func (r *runner[T]) finalize() (*relation.Relation[T], error) {
+	q := r.s.Q
+	root := r.g.Root
+	cur := r.rel[root]
+	free := make(map[int]bool, len(q.Free))
+	for _, x := range q.Free {
+		free[x] = true
+	}
+	schema := cur.Schema()
+	for i := len(schema) - 1; i >= 0; i-- {
+		x := schema[i]
+		if free[x] {
+			continue
+		}
+		var err error
+		cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.owner[root] != r.s.Output {
+		path := r.s.G.ShortestPath(r.owner[root], r.s.Output, nil)
+		if path == nil {
+			return nil, fmt.Errorf("protocol: answer holder %d cannot reach output %d", r.owner[root], r.s.Output)
+		}
+		bits := cur.Len() * r.s.TupleBits(cur.Arity())
+		if bits == 0 {
+			bits = 1 // an empty answer still needs a round to say so
+		}
+		if _, err := r.net.RoutePath(path, r.finish[root], bits); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// localStar reduces a star without communication (all relations at one
+// player).
+func localStar[T any](q *faq.Query[T], center *relation.Relation[T], children []int, msgs map[int]*relation.Relation[T]) *relation.Relation[T] {
+	cur := center
+	for _, c := range children {
+		cols := columnsOf(cur.Schema(), msgs[c].Schema())
+		lookup := relationToMap(q, msgs[c], nil)
+		b := relation.NewBuilder(q.S, cur.Schema())
+		tuple := make([]int, cur.Arity())
+		for i := 0; i < cur.Len(); i++ {
+			t := cur.Tuple(i)
+			val, ok := lookup[encodeCols(t, cols)]
+			if !ok {
+				continue
+			}
+			for k := range t {
+				tuple[k] = int(t[k])
+			}
+			b.Add(tuple, q.S.Mul(cur.Value(i), val))
+		}
+		cur = b.Build()
+	}
+	return cur
+}
+
+// relationToMap renders a message relation as key → value (keys encode
+// the full tuple in schema order).
+func relationToMap[T any](q *faq.Query[T], m *relation.Relation[T], _ []int) map[string]T {
+	out := make(map[string]T, m.Len())
+	for i := 0; i < m.Len(); i++ {
+		out[encodeCols(m.Tuple(i), nil)] = m.Value(i)
+	}
+	return out
+}
+
+// intersectMaps keeps keys present in both maps, multiplying values —
+// the local fold when one player owns several star leaves.
+func intersectMaps[T any](q *faq.Query[T], a, b map[string]T) map[string]T {
+	out := make(map[string]T)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = q.S.Mul(va, vb)
+		}
+	}
+	return out
+}
+
+// columnsOf maps variables vs to their column indices in schema (vs must
+// be a subset; GHD invariants guarantee it here).
+func columnsOf(schema, vs []int) []int {
+	cols := make([]int, len(vs))
+	for i, v := range vs {
+		j := sort.SearchInts(schema, v)
+		cols[i] = j
+	}
+	return cols
+}
+
+// encodeCols encodes selected columns (all, when cols is nil) of a tuple.
+func encodeCols(t []int32, cols []int) string {
+	if cols == nil {
+		return encodeInts(t...)
+	}
+	vals := make([]int32, len(cols))
+	for i, c := range cols {
+		vals[i] = t[c]
+	}
+	return encodeInts(vals...)
+}
+
+func clampBits(bits, cap int) int {
+	if bits > cap {
+		return cap
+	}
+	if bits <= 0 {
+		return 1
+	}
+	return bits
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

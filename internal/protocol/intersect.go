@@ -1,0 +1,172 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// SetIntersectionInput configures the distributed multiparty set
+// intersection of Theorem 3.11: player u ∈ K holds Sets[u] ⊆ [0, Universe)
+// and the designated Output player must learn ∩_u Sets[u].
+type SetIntersectionInput struct {
+	G        *topology.Graph
+	Sets     map[int][]int
+	Output   int
+	Universe int
+	// ItemBits is the channel cost of one element (≤ BitsPerRound);
+	// both default to ⌈log₂ Universe⌉ — one element per edge per round,
+	// the normalization of Theorem 3.11.
+	ItemBits     int
+	BitsPerRound int
+}
+
+// SetIntersection runs the Theorem 3.11 protocol: pack edge-disjoint
+// Steiner trees of bounded diameter (Definition 3.9), split the element
+// universe across the trees (as Example 2.3 splits Dom(A) across the
+// paths W₁ and W₂), and converge-cast each chunk toward the output with
+// per-node filtering. The round count achieves
+// O(min_Δ (N/ST(G,K,Δ) + Δ)).
+func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
+	rep := Report{Protocol: "set-intersection"}
+	if len(in.Sets) == 0 {
+		return nil, rep, fmt.Errorf("protocol: no players")
+	}
+	var K []int
+	maxSet := 0
+	for u, s := range in.Sets {
+		if u < 0 || u >= in.G.N() {
+			return nil, rep, fmt.Errorf("protocol: player %d out of range", u)
+		}
+		K = append(K, u)
+		if len(s) > maxSet {
+			maxSet = len(s)
+		}
+		for _, x := range s {
+			if x < 0 || x >= in.Universe {
+				return nil, rep, fmt.Errorf("protocol: element %d outside universe [0,%d)", x, in.Universe)
+			}
+		}
+	}
+	K = topology.SortedUnique(append(K, in.Output))
+	itemBits := in.ItemBits
+	if itemBits == 0 {
+		u := in.Universe
+		if u < 2 {
+			u = 2
+		}
+		itemBits = bitsLen(u - 1)
+	}
+	bpr := in.BitsPerRound
+	if bpr == 0 {
+		bpr = itemBits
+	}
+	net, err := netsim.New(in.G, bpr)
+	if err != nil {
+		return nil, rep, err
+	}
+
+	// Single-player case: the output already knows everything.
+	if len(K) == 1 {
+		res := intersectLocal(in.Sets, K)
+		return res, rep, nil
+	}
+
+	_, packing, _, err := flow.BestDelta(in.G, K, maxSet)
+	if err != nil {
+		return nil, rep, err
+	}
+	var result []int
+	for ti, st := range packing {
+		tree := pruneToTerminals(in.G, &netsim.Tree{Root: in.Output, Edges: st.Edges}, K)
+		spec := &convergeSpec[bool]{
+			net:      net,
+			tree:     tree,
+			start:    0,
+			itemBits: itemBits,
+			local: func(node int) map[string]bool {
+				s, ok := in.Sets[node]
+				if !ok {
+					return nil
+				}
+				m := make(map[string]bool)
+				for _, x := range s {
+					k := encodeInts(int32(x))
+					if chunkOf(k, len(packing)) == ti {
+						m[k] = true
+					}
+				}
+				return m
+			},
+			combine: func(a, b bool) bool { return a && b },
+		}
+		out, err := spec.run()
+		if err != nil {
+			return nil, rep, err
+		}
+		for _, k := range out.keys {
+			result = append(result, int(decodeInt(k)))
+		}
+	}
+	sort.Ints(result)
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return result, rep, nil
+}
+
+func intersectLocal(sets map[int][]int, K []int) []int {
+	counts := map[int]int{}
+	players := 0
+	for _, u := range K {
+		s, ok := sets[u]
+		if !ok {
+			continue
+		}
+		players++
+		seen := map[int]bool{}
+		for _, x := range s {
+			if !seen[x] {
+				seen[x] = true
+				counts[x]++
+			}
+		}
+	}
+	var out []int
+	for x, c := range counts {
+		if c == players {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// encodeInts packs int32 values into a big-endian string key; sorting
+// keys sorts the tuples lexicographically.
+func encodeInts(vals ...int32) string {
+	buf := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		x := uint32(v)
+		buf = append(buf, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+	}
+	return string(buf)
+}
+
+func decodeInt(k string) int32 {
+	return int32(uint32(k[0])<<24 | uint32(k[1])<<16 | uint32(k[2])<<8 | uint32(k[3]))
+}
+
+func bitsLen(x int) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

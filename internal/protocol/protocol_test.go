@@ -1,0 +1,476 @@
+package protocol
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/topology"
+)
+
+var sb = semiring.Bool{}
+var sp = semiring.SumProduct{}
+
+func TestSetIntersectionLineExample21(t *testing.T) {
+	// Example 2.1 as a raw set-intersection: four players on the line
+	// G1, each holding a subset of [N]; the protocol streams matching
+	// values down the line in N + 2 rounds.
+	N := 64
+	g := topology.Line(4)
+	sets := map[int][]int{}
+	for u := 0; u < 4; u++ {
+		var s []int
+		for x := 0; x < N; x++ {
+			if x%2 == 0 || x%(u+2) == 0 {
+				s = append(s, x)
+			}
+		}
+		sets[u] = s
+	}
+	got, rep, err := SetIntersection(&SetIntersectionInput{
+		G: g, Sets: sets, Output: 3, Universe: N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := intersectLocal(sets, []int{0, 1, 2, 3})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	// The pipelined chain takes ≈ |S_max| + path length rounds.
+	maxSet := 0
+	for _, s := range sets {
+		if len(s) > maxSet {
+			maxSet = len(s)
+		}
+	}
+	if rep.Rounds > maxSet+4 {
+		t.Errorf("rounds = %d, want ≤ N+4 = %d (Example 2.1 shape)", rep.Rounds, maxSet+4)
+	}
+	if rep.Rounds < 3 {
+		t.Errorf("rounds = %d suspiciously low", rep.Rounds)
+	}
+}
+
+func TestSetIntersectionCliqueExample23(t *testing.T) {
+	// Example 2.3's split: on the 4-clique, two edge-disjoint paths each
+	// carry half the domain, halving the round count.
+	N := 128
+	g := topology.Clique(4)
+	sets := map[int][]int{}
+	all := make([]int, N)
+	for x := 0; x < N; x++ {
+		all[x] = x
+	}
+	for u := 0; u < 4; u++ {
+		sets[u] = all // worst case: nothing filtered early
+	}
+	_, rep, err := SetIntersection(&SetIntersectionInput{
+		G: g, Sets: sets, Output: 1, Universe: N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two chunks of ≈N/2 items over diameter-3 paths; hash chunking is
+	// slightly uneven, allow a modest margin over N/2 + 2.
+	if rep.Rounds > N/2+N/8+4 {
+		t.Errorf("rounds = %d, want ≈ N/2+2 = %d", rep.Rounds, N/2+2)
+	}
+}
+
+func TestSetIntersectionSinglePlayer(t *testing.T) {
+	g := topology.Line(2)
+	got, rep, err := SetIntersection(&SetIntersectionInput{
+		G: g, Sets: map[int][]int{1: {3, 1, 2}}, Output: 1, Universe: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) || rep.Rounds != 0 {
+		t.Errorf("local intersection = %v in %d rounds", got, rep.Rounds)
+	}
+}
+
+func TestSetIntersectionErrors(t *testing.T) {
+	g := topology.Line(2)
+	if _, _, err := SetIntersection(&SetIntersectionInput{G: g, Output: 0, Universe: 4}); err == nil {
+		t.Error("expected error for no players")
+	}
+	if _, _, err := SetIntersection(&SetIntersectionInput{
+		G: g, Sets: map[int][]int{0: {9}}, Output: 0, Universe: 4,
+	}); err == nil {
+		t.Error("expected error for out-of-universe element")
+	}
+}
+
+// buildStarSetup assembles Example 2.2: BCQ of the star H1 on the line
+// G1, player i holding relation i.
+func buildStarSetup(t *testing.T, g *topology.Graph, aSets [][]int, dom int, assign []int, output int) *Setup[bool] {
+	t.Helper()
+	h := hypergraph.ExampleH1()
+	factors := make([]*relation.Relation[bool], h.NumEdges())
+	for i := range factors {
+		b := relation.NewBuilder[bool](sb, h.Edge(i))
+		for _, a := range aSets[i] {
+			b.AddOne(a, 1)
+		}
+		factors[i] = b.Build()
+	}
+	q := faq.NewBCQ(h, factors, dom)
+	return &Setup[bool]{Q: q, G: g, Assign: assign, Output: output}
+}
+
+func TestExample22StarOnLine(t *testing.T) {
+	// Star H1 on the line G1; answer at P2 (node 1). Upper bound
+	// Corollary 4.3: ≤ N + k rounds.
+	N := 64
+	aSets := make([][]int, 4)
+	for i := range aSets {
+		for x := 0; x < N; x++ {
+			if x%(i+1) == 0 {
+				aSets[i] = append(aSets[i], x)
+			}
+		}
+	}
+	s := buildStarSetup(t, topology.Line(4), aSets, N+1, []int{0, 1, 2, 3}, 1)
+	ans, rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := relation.ScalarValue(sb, ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = 0 is in every set: the BCQ is true.
+	if !v {
+		t.Error("BCQ = 0, want 1")
+	}
+	want, err := faq.BruteForce(s.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(sb, ans, want) {
+		t.Error("distributed answer != brute force")
+	}
+	if rep.Rounds > N+8 {
+		t.Errorf("rounds = %d, want ≤ N + k + O(1) = %d", rep.Rounds, N+8)
+	}
+}
+
+func TestExample23StarOnClique(t *testing.T) {
+	// Star H1 on the clique G2: the two-path packing halves the rounds.
+	N := 128
+	full := make([]int, N)
+	for x := range full {
+		full[x] = x
+	}
+	aSets := [][]int{full, full, full, full}
+	s := buildStarSetup(t, topology.Clique(4), aSets, N, []int{0, 1, 2, 3}, 1)
+	_, rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds > N/2+N/8+6 {
+		t.Errorf("rounds = %d, want ≈ N/2 + 2 = %d", rep.Rounds, N/2+2)
+	}
+	// The line on the same instance takes ≈ N rounds: the clique must
+	// beat it decisively.
+	sLine := buildStarSetup(t, topology.Line(4), aSets, N, []int{0, 1, 2, 3}, 1)
+	_, repLine, err := Run(sLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLine.Rounds < N {
+		t.Errorf("line rounds = %d, want ≥ N = %d", repLine.Rounds, N)
+	}
+	if rep.Rounds >= repLine.Rounds {
+		t.Errorf("clique (%d) not faster than line (%d)", rep.Rounds, repLine.Rounds)
+	}
+}
+
+func TestExample21SelfLoopsOnLine(t *testing.T) {
+	// Example 2.1: H0 (four unary relations) on the line, output P4.
+	N := 64
+	h := hypergraph.ExampleH0()
+	factors := make([]*relation.Relation[bool], 4)
+	for i := 0; i < 4; i++ {
+		b := relation.NewBuilder[bool](sb, h.Edge(i))
+		for x := 0; x < N; x++ {
+			if x%(i+1) == 0 {
+				b.AddOne(x)
+			}
+		}
+		factors[i] = b.Build()
+	}
+	q := faq.NewBCQ(h, factors, N)
+	s := &Setup[bool]{Q: q, G: topology.Line(4), Assign: []int{0, 1, 2, 3}, Output: 3}
+	ans, rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := relation.ScalarValue(sb, ans)
+	if !v {
+		t.Error("BCQ = 0, want 1 (0 in every set)")
+	}
+	if rep.Rounds > N+6 {
+		t.Errorf("rounds = %d, want ≈ N+2 = %d", rep.Rounds, N+2)
+	}
+	// The trivial protocol needs ≈ 3N rounds on this instance.
+	_, repTrivial, err := RunTrivial(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTrivial.Rounds <= rep.Rounds {
+		t.Errorf("trivial (%d rounds) should be slower than the pipeline (%d)", repTrivial.Rounds, rep.Rounds)
+	}
+}
+
+func TestHeterogeneousStarH2(t *testing.T) {
+	// H2's star has children sharing {B}, {C}, and {A,B} with the center
+	// (A,B,C): exercises the general broadcast+converge path.
+	h := hypergraph.ExampleH2()
+	r := rand.New(rand.NewSource(7))
+	dom := 4
+	factors := make([]*relation.Relation[bool], h.NumEdges())
+	for i := range factors {
+		schema := h.Edge(i)
+		b := relation.NewBuilder[bool](sb, schema)
+		for k := 0; k < 12; k++ {
+			tuple := make([]int, len(schema))
+			for j := range tuple {
+				tuple[j] = r.Intn(dom)
+			}
+			b.AddOne(tuple...)
+		}
+		factors[i] = b.Build()
+	}
+	q := faq.NewBCQ(h, factors, dom)
+	s := &Setup[bool]{Q: q, G: topology.Line(4), Assign: []int{0, 1, 2, 3}, Output: 0}
+	ans, _, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := faq.BruteForce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(sb, ans, want) {
+		t.Error("H2 distributed answer != brute force")
+	}
+}
+
+func TestCyclicCoreTriangle(t *testing.T) {
+	// A triangle query (pure core) plus a pendant edge: star phase on
+	// the pendant, trivial phase on the core.
+	b := hypergraph.NewBuilder()
+	b.Edge("A", "B")
+	b.Edge("B", "C")
+	b.Edge("A", "C")
+	b.Edge("C", "D") // pendant
+	h := b.Build()
+	r := rand.New(rand.NewSource(11))
+	dom := 4
+	factors := make([]*relation.Relation[bool], h.NumEdges())
+	for i := range factors {
+		bb := relation.NewBuilder[bool](sb, h.Edge(i))
+		for k := 0; k < 8; k++ {
+			bb.AddOne(r.Intn(dom), r.Intn(dom))
+		}
+		factors[i] = bb.Build()
+	}
+	q := faq.NewBCQ(h, factors, dom)
+	s := &Setup[bool]{Q: q, G: topology.Ring(4), Assign: []int{0, 1, 2, 3}, Output: 2}
+	ans, rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := faq.BruteForce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(sb, ans, want) {
+		t.Error("cyclic-core answer != brute force")
+	}
+	if rep.Rounds == 0 {
+		t.Error("expected nonzero rounds for distributed players")
+	}
+}
+
+func TestDistributedPGMMarginal(t *testing.T) {
+	// Factor marginal over a sum-product chain: free variables = one
+	// edge, computed distributed and compared against the centralized
+	// pass.
+	h := hypergraph.PathGraph(4)
+	r := rand.New(rand.NewSource(3))
+	dom := 3
+	factors := make([]*relation.Relation[float64], h.NumEdges())
+	for i := range factors {
+		b := relation.NewBuilder[float64](sp, h.Edge(i))
+		for a := 0; a < dom; a++ {
+			for c := 0; c < dom; c++ {
+				b.Add([]int{a, c}, float64(1+r.Intn(8))/4.0)
+			}
+		}
+		factors[i] = b.Build()
+	}
+	q := &faq.Query[float64]{S: sp, H: h, Factors: factors, Free: []int{0, 1}, DomSize: dom}
+	s := &Setup[float64]{Q: q, G: topology.Line(3), Assign: []int{0, 1, 2}, Output: 0}
+	ans, _, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := faq.BruteForce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(sp, ans, want) {
+		t.Errorf("distributed marginal != brute force\n got %v\nwant %v", ans, want)
+	}
+}
+
+func TestRunMatchesBruteForceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		// Random acyclic query.
+		nv := 3 + r.Intn(5)
+		h := hypergraph.New(nv)
+		for v := 1; v < nv; v++ {
+			h.AddEdge(r.Intn(v), v)
+		}
+		dom := 3
+		factors := make([]*relation.Relation[float64], h.NumEdges())
+		for i := range factors {
+			b := relation.NewBuilder[float64](sp, h.Edge(i))
+			for k := 0; k < 1+r.Intn(8); k++ {
+				b.Add([]int{r.Intn(dom), r.Intn(dom)}, float64(1+r.Intn(4)))
+			}
+			factors[i] = b.Build()
+		}
+		q := &faq.Query[float64]{S: sp, H: h, Factors: factors, DomSize: dom}
+		// Random topology and assignment.
+		g := topology.RandomConnected(2+r.Intn(5), r.Intn(4), r)
+		assign := make(Assignment, h.NumEdges())
+		for i := range assign {
+			assign[i] = r.Intn(g.N())
+		}
+		s := &Setup[float64]{Q: q, G: g, Assign: assign, Output: r.Intn(g.N())}
+		ans, _, err := Run(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := faq.BruteForce(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(sp, ans, want) {
+			t.Fatalf("trial %d: distributed != brute force on %v", trial, h)
+		}
+		// The trivial protocol must agree too.
+		tAns, _, err := RunTrivial(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(sp, tAns, want) {
+			t.Fatalf("trial %d: trivial != brute force", trial)
+		}
+	}
+}
+
+func TestRunMatchesBruteForceCyclicRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		nv := 3 + r.Intn(3)
+		h := hypergraph.New(nv)
+		for i := 0; i < nv; i++ {
+			h.AddEdge(i, (i+1)%nv)
+		}
+		dom := 3
+		factors := make([]*relation.Relation[bool], h.NumEdges())
+		for i := range factors {
+			b := relation.NewBuilder[bool](sb, h.Edge(i))
+			for k := 0; k < 2+r.Intn(6); k++ {
+				b.AddOne(r.Intn(dom), r.Intn(dom))
+			}
+			factors[i] = b.Build()
+		}
+		q := faq.NewBCQ(h, factors, dom)
+		g := topology.RandomConnected(2+r.Intn(4), r.Intn(3), r)
+		assign := make(Assignment, h.NumEdges())
+		for i := range assign {
+			assign[i] = r.Intn(g.N())
+		}
+		s := &Setup[bool]{Q: q, G: g, Assign: assign, Output: r.Intn(g.N())}
+		ans, _, err := Run(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := faq.BruteForce(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(sb, ans, want) {
+			t.Fatalf("trial %d: cyclic distributed != brute force", trial)
+		}
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	h := hypergraph.PathGraph(3)
+	factors := []*relation.Relation[bool]{
+		relation.Empty[bool](h.Edge(0)),
+		relation.Empty[bool](h.Edge(1)),
+	}
+	q := faq.NewBCQ(h, factors, 2)
+	g := topology.Line(3)
+	cases := []struct {
+		name string
+		s    *Setup[bool]
+	}{
+		{"short assign", &Setup[bool]{Q: q, G: g, Assign: Assignment{0}, Output: 0}},
+		{"bad player", &Setup[bool]{Q: q, G: g, Assign: Assignment{0, 9}, Output: 0}},
+		{"bad output", &Setup[bool]{Q: q, G: g, Assign: Assignment{0, 1}, Output: 7}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	// Disconnected players.
+	g2 := topology.NewGraph(4)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(2, 3)
+	bad := &Setup[bool]{Q: q, G: g2, Assign: Assignment{0, 3}, Output: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for disconnected players")
+	}
+}
+
+func TestTrivialProtocolRoundsScaleWithTotalSize(t *testing.T) {
+	// Lemma 3.1: the trivial protocol ships k·N tuples; on a line its
+	// rounds grow ≈ k·N while the forest protocol stays ≈ N.
+	N := 48
+	full := make([]int, N)
+	for x := range full {
+		full[x] = x
+	}
+	aSets := [][]int{full, full, full, full}
+	s := buildStarSetup(t, topology.Line(4), aSets, N, []int{0, 1, 2, 3}, 0)
+	_, repMain, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repTriv, err := RunTrivial(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTriv.Rounds < 2*N {
+		t.Errorf("trivial rounds = %d, want ≥ 2N = %d", repTriv.Rounds, 2*N)
+	}
+	if repMain.Rounds > N+8 {
+		t.Errorf("main rounds = %d, want ≈ N", repMain.Rounds)
+	}
+}

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/faq"
+	"repro/internal/flow"
+	"repro/internal/netsim"
+	"repro/internal/relation"
+)
+
+// RunTrivial executes the trivial protocol (Lemma 3.1): every player
+// routes its relations to the output player over edge-disjoint flow
+// paths, and the output player computes the query locally. Its cost is
+// O(τ_MCF(G, K, k·r·N)) rounds and it is the baseline every other
+// protocol is compared against (and the subroutine finishing cyclic
+// cores).
+func RunTrivial[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
+	rep := Report{Protocol: "trivial"}
+	if err := s.Validate(); err != nil {
+		return nil, rep, err
+	}
+	net, err := netsim.New(s.G, s.Bits())
+	if err != nil {
+		return nil, rep, err
+	}
+	for e, src := range s.Assign {
+		if src == s.Output {
+			continue
+		}
+		f := s.Q.Factors[e]
+		bits := f.Len() * s.TupleBits(f.Arity())
+		if bits == 0 {
+			continue
+		}
+		res, err := flow.MaxFlow(s.G, src, s.Output)
+		if err != nil {
+			return nil, rep, err
+		}
+		if res.Value == 0 {
+			return nil, rep, fmt.Errorf("protocol: no route from %d to %d", src, s.Output)
+		}
+		share := ceilDiv(bits, res.Value)
+		for _, p := range res.Paths {
+			if _, err := net.RoutePath(p, 0, share); err != nil {
+				return nil, rep, err
+			}
+		}
+	}
+	ans, err := solveCentral(s.Q)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Rounds = net.Rounds()
+	rep.Bits = net.TotalBits()
+	return ans, rep, nil
+}
+
+// solveCentral picks the cheapest applicable centralized solver: the GHD
+// pass when the free-variable restriction allows it, brute force
+// otherwise.
+func solveCentral[T any](q *faq.Query[T]) (*relation.Relation[T], error) {
+	if ans, err := faq.Solve(q); err == nil {
+		return ans, nil
+	}
+	return faq.BruteForce(q)
+}

@@ -1,0 +1,400 @@
+// Package relation implements semiring-annotated relations in listing
+// representation — the input format of the paper's FAQ queries: a function
+// f_e is stored as the list of its non-zero values
+// R_e = {(y, f_e(y)) : f_e(y) ≠ 0} (Section 1).
+//
+// Relations are immutable after construction; all operations return new
+// relations. Tuples are kept sorted lexicographically, so equal relations
+// have identical layouts and every computation in the repository is
+// deterministic.
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/semiring"
+)
+
+// Relation is a finite map from tuples over a variable schema to non-zero
+// semiring values. The schema lists variable ids sorted ascending; each
+// tuple stores one int32 per schema variable.
+type Relation[T any] struct {
+	schema []int
+	rows   []int32 // flattened: len = arity * Len()
+	vals   []T
+}
+
+// Schema returns the sorted variable ids. Callers must not modify it.
+func (r *Relation[T]) Schema() []int { return r.schema }
+
+// Arity returns the number of schema variables.
+func (r *Relation[T]) Arity() int { return len(r.schema) }
+
+// Len returns the number of listed (non-zero) tuples.
+func (r *Relation[T]) Len() int {
+	if len(r.schema) == 0 {
+		return len(r.vals)
+	}
+	return len(r.rows) / len(r.schema)
+}
+
+// Tuple returns the i-th tuple as a view; callers must not modify it.
+func (r *Relation[T]) Tuple(i int) []int32 {
+	a := len(r.schema)
+	return r.rows[i*a : (i+1)*a]
+}
+
+// Value returns the annotation of the i-th tuple.
+func (r *Relation[T]) Value(i int) T { return r.vals[i] }
+
+// String renders the relation for diagnostics.
+func (r *Relation[T]) String() string {
+	return fmt.Sprintf("Relation(schema=%v, n=%d)", r.schema, r.Len())
+}
+
+// Builder accumulates tuples and merges duplicates with the semiring's ⊕
+// at Build time, dropping zero-valued results (listing representation).
+type Builder[T any] struct {
+	s      semiring.Semiring[T]
+	schema []int
+	perm   []int // column permutation from input order to sorted schema
+	rows   []int32
+	vals   []T
+}
+
+// NewBuilder returns a builder over the given schema (any order; columns
+// are normalized to sorted variable order internally). Duplicate
+// variables in the schema are a programmer error and panic.
+func NewBuilder[T any](s semiring.Semiring[T], schema []int) *Builder[T] {
+	sorted := append([]int(nil), schema...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("relation: duplicate variable %d in schema %v", sorted[i], schema))
+		}
+	}
+	perm := make([]int, len(schema))
+	for i, v := range schema {
+		perm[i] = sort.SearchInts(sorted, v)
+	}
+	return &Builder[T]{s: s, schema: sorted, perm: perm}
+}
+
+// Add appends a tuple (given in the builder's original schema order) with
+// an annotation. Length mismatches panic.
+func (b *Builder[T]) Add(tuple []int, val T) {
+	if len(tuple) != len(b.schema) {
+		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(tuple), len(b.schema)))
+	}
+	row := make([]int32, len(tuple))
+	for i, x := range tuple {
+		row[b.perm[i]] = int32(x)
+	}
+	b.rows = append(b.rows, row...)
+	b.vals = append(b.vals, val)
+}
+
+// AddOne appends a tuple annotated with the semiring's 1 — the natural
+// encoding of an ordinary (Boolean) database tuple.
+func (b *Builder[T]) AddOne(tuple ...int) { b.Add(tuple, b.s.One()) }
+
+// Build merges duplicate tuples with ⊕, drops zeros, sorts
+// lexicographically, and returns the immutable relation.
+func (b *Builder[T]) Build() *Relation[T] {
+	a := len(b.schema)
+	n := len(b.vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cmp := func(i, j int) int {
+		ri, rj := b.rows[i*a:(i+1)*a], b.rows[j*a:(j+1)*a]
+		for k := 0; k < a; k++ {
+			if ri[k] != rj[k] {
+				if ri[k] < rj[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	sort.Slice(idx, func(x, y int) bool { return cmp(idx[x], idx[y]) < 0 })
+
+	out := &Relation[T]{schema: b.schema}
+	for i := 0; i < n; {
+		j := i + 1
+		v := b.vals[idx[i]]
+		for j < n && cmp(idx[i], idx[j]) == 0 {
+			v = b.s.Add(v, b.vals[idx[j]])
+			j++
+		}
+		if !b.s.IsZero(v) {
+			out.rows = append(out.rows, b.rows[idx[i]*a:(idx[i]+1)*a]...)
+			out.vals = append(out.vals, v)
+		}
+		i = j
+	}
+	return out
+}
+
+// Empty returns the empty relation over a schema.
+func Empty[T any](schema []int) *Relation[T] {
+	sorted := append([]int(nil), schema...)
+	sort.Ints(sorted)
+	return &Relation[T]{schema: sorted}
+}
+
+// Unit returns the zero-arity relation holding the single empty tuple
+// with the given value — the ⊗-identity of joins and the shape of a BCQ
+// answer (a single semiring value).
+func Unit[T any](s semiring.Semiring[T], val T) *Relation[T] {
+	r := &Relation[T]{schema: nil}
+	if !s.IsZero(val) {
+		r.vals = append(r.vals, val)
+	}
+	return r
+}
+
+// ScalarValue returns the single value of a zero-arity relation (the BCQ
+// or fully-aggregated FAQ answer): the stored value, or ⊕'s identity 0
+// when the relation is empty.
+func ScalarValue[T any](s semiring.Semiring[T], r *Relation[T]) (T, error) {
+	if len(r.schema) != 0 {
+		var zero T
+		return zero, fmt.Errorf("relation: ScalarValue on non-scalar schema %v", r.schema)
+	}
+	if len(r.vals) == 0 {
+		return s.Zero(), nil
+	}
+	return r.vals[0], nil
+}
+
+// columnsOf maps the variables vs to their column indices in schema;
+// variables missing from the schema return an error.
+func columnsOf(schema, vs []int) ([]int, error) {
+	cols := make([]int, len(vs))
+	for i, v := range vs {
+		j := sort.SearchInts(schema, v)
+		if j >= len(schema) || schema[j] != v {
+			return nil, fmt.Errorf("relation: variable %d not in schema %v", v, schema)
+		}
+		cols[i] = j
+	}
+	return cols, nil
+}
+
+// key encodes the given columns of a tuple as a map key.
+func key(tuple []int32, cols []int) string {
+	buf := make([]byte, 0, len(cols)*4)
+	for _, c := range cols {
+		x := uint32(tuple[c])
+		buf = append(buf, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+	}
+	return string(buf)
+}
+
+// Project returns π_vs(r) with duplicate projected tuples merged by ⊕
+// (the FAQ-SS semantics of summing out the dropped variables all at
+// once). vs must be a subset of r's schema.
+func Project[T any](s semiring.Semiring[T], r *Relation[T], vs []int) (*Relation[T], error) {
+	sorted := append([]int(nil), vs...)
+	sort.Ints(sorted)
+	cols, err := columnsOf(r.schema, sorted)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(s, sorted)
+	tuple := make([]int, len(cols))
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		for k, c := range cols {
+			tuple[k] = int(t[c])
+		}
+		b.Add(tuple, r.vals[i])
+	}
+	return b.Build(), nil
+}
+
+// Join returns the natural join a ⋈ b with annotations combined by ⊗
+// (Definition 3.4 lifted to the semiring). The output schema is the
+// sorted union of the input schemas.
+func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	// Index b by shared-variable key.
+	bIdx := make(map[string][]int)
+	for i := 0; i < b.Len(); i++ {
+		k := key(b.Tuple(i), bCols)
+		bIdx[k] = append(bIdx[k], i)
+	}
+	// Precompute output column sources: from a, or from b.
+	type src struct {
+		fromA bool
+		col   int
+	}
+	srcs := make([]src, len(outSchema))
+	for i, v := range outSchema {
+		if j := sort.SearchInts(a.schema, v); j < len(a.schema) && a.schema[j] == v {
+			srcs[i] = src{true, j}
+		} else {
+			j := sort.SearchInts(b.schema, v)
+			srcs[i] = src{false, j}
+		}
+	}
+	out := NewBuilder(s, outSchema)
+	tuple := make([]int, len(outSchema))
+	for i := 0; i < a.Len(); i++ {
+		ta := a.Tuple(i)
+		for _, j := range bIdx[key(ta, aCols)] {
+			tb := b.Tuple(j)
+			for k, sc := range srcs {
+				if sc.fromA {
+					tuple[k] = int(ta[sc.col])
+				} else {
+					tuple[k] = int(tb[sc.col])
+				}
+			}
+			out.Add(tuple, s.Mul(a.vals[i], b.vals[j]))
+		}
+	}
+	return out.Build()
+}
+
+// Semijoin returns a ⋉ b (Definition 3.5 with set semantics on the
+// match): the tuples of a whose projection onto the shared variables
+// appears in b, annotations unchanged. This is the filtering primitive of
+// the star protocol (Algorithm 1); the value-combining variant used by
+// the general FAQ protocol is Join followed by Project.
+func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	seen := make(map[string]bool)
+	for i := 0; i < b.Len(); i++ {
+		seen[key(b.Tuple(i), bCols)] = true
+	}
+	out := &Relation[T]{schema: a.schema}
+	for i := 0; i < a.Len(); i++ {
+		if seen[key(a.Tuple(i), aCols)] {
+			out.rows = append(out.rows, a.Tuple(i)...)
+			out.vals = append(out.vals, a.vals[i])
+		}
+	}
+	return out
+}
+
+// EliminateVar aggregates variable v out of r with the given per-variable
+// operator (general FAQ, eq. 4): tuples equal on the remaining schema are
+// combined with op. For a product aggregate ⊗, unlisted tuples are zeros
+// and annihilate the product, so a group survives only when it has one
+// tuple per domain value — domSize values — mirroring Corollary G.2's
+// push-down over listing representations.
+func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semiring.Op[T], domSize int) (*Relation[T], error) {
+	if _, err := columnsOf(r.schema, []int{v}); err != nil {
+		return nil, err
+	}
+	rest := hypergraph.DiffSorted(r.schema, []int{v})
+	restCols, _ := columnsOf(r.schema, rest)
+
+	type group struct {
+		val   T
+		count int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	reps := make(map[string][]int32)
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		k := key(t, restCols)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{val: op.Identity()}
+			groups[k] = g
+			order = append(order, k)
+			rep := make([]int32, len(restCols))
+			for j, c := range restCols {
+				rep[j] = t[c]
+			}
+			reps[k] = rep
+		}
+		g.val = op.Combine(g.val, r.vals[i])
+		g.count++
+	}
+	b := NewBuilder(s, rest)
+	tuple := make([]int, len(rest))
+	for _, k := range order {
+		g := groups[k]
+		if op.IsProduct() && g.count < domSize {
+			continue // an unlisted zero annihilates the product aggregate
+		}
+		if s.IsZero(g.val) {
+			continue
+		}
+		for j, x := range reps[k] {
+			tuple[j] = int(x)
+		}
+		b.Add(tuple, g.val)
+	}
+	return b.Build(), nil
+}
+
+// Equal reports whether two relations have the same schema and the same
+// tuples with semiring-equal annotations.
+func Equal[T any](s semiring.Semiring[T], a, b *Relation[T]) bool {
+	if len(a.schema) != len(b.schema) || a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.schema {
+		if a.schema[i] != b.schema[i] {
+			return false
+		}
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Tuple(i), b.Tuple(i)
+		for k := range ta {
+			if ta[k] != tb[k] {
+				return false
+			}
+		}
+		if !s.Equal(a.vals[i], b.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a copy of r with schema variables substituted according
+// to m (old id -> new id); variables absent from m keep their ids. The
+// mapping must remain injective on the schema.
+func Rename[T any](s semiring.Semiring[T], r *Relation[T], m map[int]int) (*Relation[T], error) {
+	newSchema := make([]int, len(r.schema))
+	for i, v := range r.schema {
+		if nv, ok := m[v]; ok {
+			newSchema[i] = nv
+		} else {
+			newSchema[i] = v
+		}
+	}
+	seen := make(map[int]bool, len(newSchema))
+	for _, v := range newSchema {
+		if seen[v] {
+			return nil, fmt.Errorf("relation: rename collapses schema %v via %v", r.schema, m)
+		}
+		seen[v] = true
+	}
+	b := NewBuilder(s, newSchema)
+	tuple := make([]int, len(newSchema))
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		for k := range t {
+			tuple[k] = int(t[k])
+		}
+		b.Add(tuple, r.vals[i])
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,238 @@
+// Package semiring defines the commutative semiring abstraction that
+// underlies Functional Aggregate Queries (FAQs) and provides the semirings
+// used throughout the paper "Topology Dependent Bounds For FAQs"
+// (Langberg, Li, Mani Jayaraman, Rudra; PODS 2019).
+//
+// A commutative semiring (D, ⊕, ⊗) has a commutative monoid (D, ⊕) with
+// additive identity 0, a commutative monoid (D, ⊗) with multiplicative
+// identity 1, ⊗ distributes over ⊕, and 0 annihilates under ⊗
+// (footnote 2 of the paper).
+//
+// The package also defines per-variable aggregate operators (Op) used by
+// general FAQ queries (Section 5): for each bound variable the aggregate is
+// either the semiring product ⊗ or the addition of a commutative semiring
+// that shares the same identities 0 and 1.
+package semiring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Semiring is a commutative semiring over values of type T.
+//
+// Implementations must satisfy, for all a, b, c:
+//
+//	Add(a, b) == Add(b, a)
+//	Add(Add(a, b), c) == Add(a, Add(b, c))
+//	Add(a, Zero()) == a
+//	Mul(a, b) == Mul(b, a)
+//	Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+//	Mul(a, One()) == a
+//	Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+//	Mul(a, Zero()) == Zero()
+//
+// Equal is the semiring's notion of value equality; floating-point
+// semirings use a relative tolerance so that re-associated aggregations
+// (e.g. a distributed protocol summing in a different order than a
+// centralized solver) still compare equal.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+	Equal(a, b T) bool
+	// IsZero reports whether a is the additive identity. Relations in
+	// listing representation never store zero-valued tuples, mirroring
+	// the paper's definition R_e = {(y, f_e(y)) : f_e(y) ≠ 0}.
+	IsZero(a T) bool
+	// Format renders a value for diagnostics.
+	Format(a T) string
+}
+
+// Bool is the Boolean semiring ({0,1}, ∨, ∧) used for Boolean Conjunctive
+// Queries (BCQ). Zero is false, One is true.
+type Bool struct{}
+
+// Zero returns false, the additive identity of (∨).
+func (Bool) Zero() bool { return false }
+
+// One returns true, the multiplicative identity of (∧).
+func (Bool) One() bool { return true }
+
+// Add is logical OR.
+func (Bool) Add(a, b bool) bool { return a || b }
+
+// Mul is logical AND.
+func (Bool) Mul(a, b bool) bool { return a && b }
+
+// Equal reports a == b.
+func (Bool) Equal(a, b bool) bool { return a == b }
+
+// IsZero reports whether a is false.
+func (Bool) IsZero(a bool) bool { return !a }
+
+// Format renders the value as "0" or "1".
+func (Bool) Format(a bool) string {
+	if a {
+		return "1"
+	}
+	return "0"
+}
+
+// F2 is the finite field of two elements (F₂, ⊕=XOR, ⊗=AND), the semiring
+// of the Matrix Chain Multiplication problem (Section 6). Values are 0 or 1.
+type F2 struct{}
+
+// Zero returns 0.
+func (F2) Zero() byte { return 0 }
+
+// One returns 1.
+func (F2) One() byte { return 1 }
+
+// Add is addition modulo 2 (XOR).
+func (F2) Add(a, b byte) byte { return (a ^ b) & 1 }
+
+// Mul is multiplication modulo 2 (AND).
+func (F2) Mul(a, b byte) byte { return a & b & 1 }
+
+// Equal reports a == b (mod 2).
+func (F2) Equal(a, b byte) bool { return a&1 == b&1 }
+
+// IsZero reports whether a ≡ 0 (mod 2).
+func (F2) IsZero(a byte) bool { return a&1 == 0 }
+
+// Format renders the value as "0" or "1".
+func (F2) Format(a byte) string { return fmt.Sprintf("%d", a&1) }
+
+// floatTolerance is the relative tolerance used by floating-point
+// semirings' Equal: distributed protocols aggregate in a different order
+// than centralized solvers, so exact float equality is too strict.
+const floatTolerance = 1e-9
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= floatTolerance*scale
+}
+
+// SumProduct is the (ℝ≥0, +, ×) semiring used for probabilistic graphical
+// model marginals (the paper's second headline problem).
+type SumProduct struct{}
+
+// Zero returns 0.
+func (SumProduct) Zero() float64 { return 0 }
+
+// One returns 1.
+func (SumProduct) One() float64 { return 1 }
+
+// Add is real addition.
+func (SumProduct) Add(a, b float64) float64 { return a + b }
+
+// Mul is real multiplication.
+func (SumProduct) Mul(a, b float64) float64 { return a * b }
+
+// Equal compares with a relative tolerance.
+func (SumProduct) Equal(a, b float64) bool { return approxEqual(a, b) }
+
+// IsZero reports whether a is (approximately) 0.
+func (SumProduct) IsZero(a float64) bool { return a == 0 }
+
+// Format renders the value with %g.
+func (SumProduct) Format(a float64) string { return fmt.Sprintf("%g", a) }
+
+// MinPlus is the tropical semiring (ℝ∪{+∞}, min, +) used for shortest-path
+// style aggregations; Zero is +∞ and One is 0.
+type MinPlus struct{}
+
+// Zero returns +∞, the identity of min.
+func (MinPlus) Zero() float64 { return math.Inf(1) }
+
+// One returns 0, the identity of +.
+func (MinPlus) One() float64 { return 0 }
+
+// Add is min.
+func (MinPlus) Add(a, b float64) float64 { return math.Min(a, b) }
+
+// Mul is real addition.
+func (MinPlus) Mul(a, b float64) float64 { return a + b }
+
+// Equal compares with a relative tolerance.
+func (MinPlus) Equal(a, b float64) bool { return approxEqual(a, b) }
+
+// IsZero reports whether a is +∞.
+func (MinPlus) IsZero(a float64) bool { return math.IsInf(a, 1) }
+
+// Format renders the value with %g.
+func (MinPlus) Format(a float64) string { return fmt.Sprintf("%g", a) }
+
+// MaxTimes is the Viterbi semiring (ℝ≥0, max, ×) used for maximum a
+// posteriori (MAP) queries; Zero is 0 and One is 1. It shares identities
+// with SumProduct and therefore is a valid per-variable aggregate for
+// general FAQs mixed with sum-product factors (Section 5).
+type MaxTimes struct{}
+
+// Zero returns 0, the identity of max over ℝ≥0.
+func (MaxTimes) Zero() float64 { return 0 }
+
+// One returns 1.
+func (MaxTimes) One() float64 { return 1 }
+
+// Add is max.
+func (MaxTimes) Add(a, b float64) float64 { return math.Max(a, b) }
+
+// Mul is real multiplication.
+func (MaxTimes) Mul(a, b float64) float64 { return a * b }
+
+// Equal compares with a relative tolerance.
+func (MaxTimes) Equal(a, b float64) bool { return approxEqual(a, b) }
+
+// IsZero reports whether a is 0.
+func (MaxTimes) IsZero(a float64) bool { return a == 0 }
+
+// Format renders the value with %g.
+func (MaxTimes) Format(a float64) string { return fmt.Sprintf("%g", a) }
+
+// Count is the counting semiring (ℤ, +, ×) used to count join results
+// (e.g. the number of satisfying assignments of a conjunctive query).
+type Count struct{}
+
+// Zero returns 0.
+func (Count) Zero() int64 { return 0 }
+
+// One returns 1.
+func (Count) One() int64 { return 1 }
+
+// Add is integer addition.
+func (Count) Add(a, b int64) int64 { return a + b }
+
+// Mul is integer multiplication.
+func (Count) Mul(a, b int64) int64 { return a * b }
+
+// Equal reports a == b.
+func (Count) Equal(a, b int64) bool { return a == b }
+
+// IsZero reports whether a == 0.
+func (Count) IsZero(a int64) bool { return a == 0 }
+
+// Format renders the value with %d.
+func (Count) Format(a int64) string { return fmt.Sprintf("%d", a) }
+
+// Compile-time interface conformance checks.
+var (
+	_ Semiring[bool]    = Bool{}
+	_ Semiring[byte]    = F2{}
+	_ Semiring[float64] = SumProduct{}
+	_ Semiring[float64] = MinPlus{}
+	_ Semiring[float64] = MaxTimes{}
+	_ Semiring[int64]   = Count{}
+)

@@ -1,0 +1,112 @@
+// Package twoparty implements Model 2.2: Yao's two-party communication
+// model in which Alice and Bob exchange one bit per round over a single
+// channel. It provides reference protocols for set disjointness and
+// TRIBES, and the cut-simulation of Lemma 4.4: a network protocol's
+// transcript across a cut (A, B) is replayed as a two-party protocol
+// whose bit cost is bounded by rounds · MinCut · ⌈log₂ MinCut⌉ — the
+// inequality that transfers Theorem 2.3's Ω(mN) TRIBES bound to network
+// round lower bounds.
+package twoparty
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tribes"
+)
+
+// Transcript counts the bits exchanged by a two-party protocol.
+type Transcript struct {
+	BitsAtoB int
+	BitsBtoA int
+	Rounds   int // one bit per round in Model 2.2
+}
+
+// Total returns the total bits exchanged.
+func (t *Transcript) Total() int { return t.BitsAtoB + t.BitsBtoA }
+
+// DISJ runs the trivial deterministic protocol for set disjointness:
+// Alice sends her characteristic vector (N bits), Bob answers with one
+// bit. Its cost N+1 is optimal up to constants (Theorem 2.3 with m = 1:
+// Ω(N) even for randomized protocols).
+//
+// DISJ_N(X, Y) = 1 iff X ∩ Y ≠ ∅ (the paper's convention).
+func DISJ(x, y []int, universe int) (bool, *Transcript, error) {
+	inX := make([]bool, universe)
+	for _, v := range x {
+		if v < 0 || v >= universe {
+			return false, nil, fmt.Errorf("twoparty: element %d outside universe", v)
+		}
+		inX[v] = true
+	}
+	tr := &Transcript{BitsAtoB: universe, BitsBtoA: 1, Rounds: universe + 1}
+	for _, v := range y {
+		if v < 0 || v >= universe {
+			return false, nil, fmt.Errorf("twoparty: element %d outside universe", v)
+		}
+		if inX[v] {
+			return true, tr, nil
+		}
+	}
+	return false, tr, nil
+}
+
+// TRIBES runs the conjunction of m DISJ instances with the trivial
+// protocol: cost m(N+1), matching Theorem 2.3's Ω(mN) up to constants.
+func TRIBES(in *tribes.Instance) (bool, *Transcript, error) {
+	if err := in.Validate(); err != nil {
+		return false, nil, err
+	}
+	total := &Transcript{}
+	out := true
+	for i := range in.S {
+		v, tr, err := DISJ(in.S[i], in.T[i], in.N)
+		if err != nil {
+			return false, nil, err
+		}
+		total.BitsAtoB += tr.BitsAtoB
+		total.BitsBtoA += tr.BitsBtoA
+		total.Rounds += tr.Rounds
+		out = out && v
+	}
+	return out, total, nil
+}
+
+// SimulateAcrossCut converts a network protocol's measured cost into the
+// two-party cost of Lemma 4.4: Alice simulates side A of the cut, Bob
+// side B; in each network round at most MinCut messages of msgBits bits
+// cross the cut, each tagged with ⌈log₂ MinCut⌉ bits naming its edge.
+// The returned transcript is the upper bound on the induced two-party
+// protocol; combining it with Theorem 2.3's Ω(mN) bit bound yields the
+// round lower bound
+//
+//	rounds ≥ Ω(mN) / (MinCut·(msgBits + ⌈log₂ MinCut⌉)).
+func SimulateAcrossCut(networkRounds, minCut, msgBits int) (*Transcript, error) {
+	if networkRounds < 0 || minCut < 1 || msgBits < 1 {
+		return nil, fmt.Errorf("twoparty: invalid simulation parameters")
+	}
+	tag := 0
+	if minCut > 1 {
+		tag = int(math.Ceil(math.Log2(float64(minCut))))
+	}
+	perRound := minCut * (msgBits + tag)
+	return &Transcript{
+		BitsAtoB: networkRounds * perRound / 2,
+		BitsBtoA: networkRounds*perRound - networkRounds*perRound/2,
+		Rounds:   networkRounds * perRound,
+	}, nil
+}
+
+// RoundLowerBound inverts SimulateAcrossCut: given the Ω(mN) bit bound
+// on the embedded TRIBES instance, any network protocol must run for at
+// least bitBound / (MinCut·(msgBits + ⌈log₂ MinCut⌉)) rounds.
+func RoundLowerBound(bitBound float64, minCut, msgBits int) float64 {
+	if minCut < 1 || msgBits < 1 {
+		return 0
+	}
+	tag := 0.0
+	if minCut > 1 {
+		tag = math.Ceil(math.Log2(float64(minCut)))
+	}
+	return bitBound / (float64(minCut) * (float64(msgBits) + tag))
+}

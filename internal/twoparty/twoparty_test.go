@@ -1,0 +1,131 @@
+package twoparty
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/hypergraph"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/topology"
+	"repro/internal/tribes"
+)
+
+func TestDISJSemantics(t *testing.T) {
+	v, tr, err := DISJ([]int{1, 3}, []int{3, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v {
+		t.Error("sets intersect at 3: DISJ should be 1")
+	}
+	if tr.Total() != 9 {
+		t.Errorf("trivial protocol cost = %d, want N+1 = 9", tr.Total())
+	}
+	v, _, err = DISJ([]int{0, 2}, []int{1, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Error("disjoint sets: DISJ should be 0")
+	}
+	if _, _, err := DISJ([]int{9}, nil, 8); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestTRIBESMatchesInstanceEval(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		in := tribes.RandomInstance(1+r.Intn(4), 4+r.Intn(8), r)
+		v, tr, err := TRIBES(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != in.Eval() {
+			t.Fatalf("two-party TRIBES = %v, Eval = %v", v, in.Eval())
+		}
+		want := in.M() * (in.N + 1)
+		if tr.Total() != want {
+			t.Errorf("cost = %d, want m(N+1) = %d", tr.Total(), want)
+		}
+	}
+}
+
+func TestSimulateAcrossCut(t *testing.T) {
+	tr, err := SimulateAcrossCut(100, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 rounds × 4 edges × (8 data + 2 tag) bits.
+	if tr.Rounds != 100*4*10 {
+		t.Errorf("simulated bits = %d, want 4000", tr.Rounds)
+	}
+	if _, err := SimulateAcrossCut(-1, 1, 1); err == nil {
+		t.Error("expected parameter error")
+	}
+}
+
+// TestLemma44EndToEnd is the full lower-bound argument in code: the
+// measured network protocol on an embedded TRIBES instance, simulated
+// across the min cut, must cost at least the Ω(mN) two-party bit bound —
+// i.e. the network rounds must clear RoundLowerBound.
+func TestLemma44EndToEnd(t *testing.T) {
+	h := hypergraph.ExampleH1()
+	sites, err := tribes.SitesForForest(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := 64
+	r := rand.New(rand.NewSource(82))
+	in := tribes.HardInstance(1, N, true, r)
+	emb, err := tribes.EmbedAtSites(h, sites, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topology.Line(4)
+	minCut, side, err := flow.MinCutSeparating(g, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, _, bNode, err := tribes.CutAssignment(emb, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &protocol.Setup[bool]{Q: emb.Q, G: g, Assign: assign, Output: bNode}
+	ans, rep, err := protocol.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := relation.ScalarValue(emb.Q.S, ans)
+	if v != in.Eval() {
+		t.Fatal("embedding broken")
+	}
+	// The simulated two-party cost of the real protocol...
+	sim, err := SimulateAcrossCut(rep.Rounds, minCut, s.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...must be able to pay the Ω(mN) toll (here with constant 1/4 for
+	// the randomized bound's constant).
+	bitBound := tribes.LowerBoundBits(emb.M, N) / 4
+	if float64(sim.Rounds) < bitBound {
+		t.Errorf("simulated two-party cost %d below bit bound %v: protocol impossibly fast",
+			sim.Rounds, bitBound)
+	}
+	// And the inverted bound must sit below the measured rounds.
+	lb := RoundLowerBound(bitBound, minCut, s.Bits())
+	if float64(rep.Rounds) < lb {
+		t.Errorf("measured rounds %d below inverted bound %v", rep.Rounds, lb)
+	}
+}
+
+func TestRoundLowerBoundEdges(t *testing.T) {
+	if RoundLowerBound(100, 0, 8) != 0 {
+		t.Error("invalid cut should yield 0")
+	}
+	if got := RoundLowerBound(100, 1, 10); got != 10 {
+		t.Errorf("LB = %v, want 10", got)
+	}
+}

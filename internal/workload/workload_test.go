@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+)
+
+func TestRandomRelationShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rel := RandomRelation([]int{0, 1}, 20, 8, r)
+	if rel.Len() == 0 || rel.Len() > 20 {
+		t.Errorf("Len = %d, want (0, 20]", rel.Len())
+	}
+	for i := 0; i < rel.Len(); i++ {
+		for _, x := range rel.Tuple(i) {
+			if x < 0 || x >= 8 {
+				t.Fatalf("value %d outside domain", x)
+			}
+		}
+	}
+}
+
+func TestMatchingRelationIsSkewFree(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	rel, err := MatchingRelation([]int{0, 1}, 6, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", rel.Len())
+	}
+	for col := 0; col < 2; col++ {
+		seen := map[int32]bool{}
+		for i := 0; i < rel.Len(); i++ {
+			v := rel.Tuple(i)[col]
+			if seen[v] {
+				t.Fatalf("column %d repeats value %d: not a matching", col, v)
+			}
+			seen[v] = true
+		}
+	}
+	if _, err := MatchingRelation([]int{0}, 5, 3, r); err == nil {
+		t.Error("expected error for n > dom")
+	}
+}
+
+func TestFullRelation(t *testing.T) {
+	rel := FullRelation([]int{0, 1}, 3)
+	if rel.Len() != 9 {
+		t.Errorf("Len = %d, want 9", rel.Len())
+	}
+}
+
+func TestSharedValueRelationsMakeBCQTrue(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	h := hypergraph.StarGraph(4)
+	factors := SharedValueRelations(h, 10, 16, 7, r)
+	q := faq.NewBCQ(h, factors, 16)
+	res, err := faq.BruteForce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := relation.ScalarValue(q.S, res)
+	if !v {
+		t.Error("planted star BCQ should be true")
+	}
+}
+
+func TestDDegenerateGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, d := range []int{1, 2, 3} {
+		h := DDegenerateGraph(12, d, r)
+		if got := hypergraph.Degeneracy(h); got > d {
+			t.Errorf("degeneracy = %d, want ≤ %d", got, d)
+		}
+	}
+}
+
+func TestDDegenerateHypergraph(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := DDegenerateHypergraph(10, 2, 3, r)
+	if h.Arity() > 3 {
+		t.Errorf("arity = %d, want ≤ 3", h.Arity())
+	}
+	if got := hypergraph.Degeneracy(h); got > 4 {
+		t.Errorf("degeneracy = %d, want O(d) = small", got)
+	}
+}
+
+func TestBCQAndFAQBuilders(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	q := BCQ(hypergraph.PathGraph(4), 8, 5, r)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fq := SumProductFAQ(hypergraph.PathGraph(4), []int{0}, 8, 5, r)
+	if err := fq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinAssignment(t *testing.T) {
+	a := RoundRobinAssignment(5, []int{3, 7})
+	want := []int{3, 7, 3, 7, 3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("assign[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
