@@ -1,0 +1,37 @@
+# Build / verify / benchmark entry points.
+#
+#   make build  — compile every package
+#   make vet    — static analysis
+#   make test   — full test suite (tier-1 gate: build + test green)
+#   make check  — build + vet + test
+#   make bench  — relation-kernel micro-benchmarks → BENCH_relation.json
+#                 (test2json stream of `go test -bench -benchmem`,
+#                 the trajectory artifact later perf PRs diff against)
+#   make bench-all — every benchmark in the repo (paper tables + kernel)
+
+GO        ?= go
+BENCHTIME ?= 0.5s
+
+.PHONY: build test vet check bench bench-all fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json \
+		./internal/relation/ > BENCH_relation.json
+	@echo "wrote BENCH_relation.json"
+
+bench-all:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
+
+fuzz:
+	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=30s

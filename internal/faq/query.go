@@ -53,22 +53,6 @@ func (q *Query[T]) Op(v int) semiring.Op[T] {
 // the semiring ⊕).
 func (q *Query[T]) IsSS() bool { return len(q.VarOps) == 0 }
 
-// BoundVars returns the bound variables in descending id order — the
-// order in which eq. (4) applies the aggregates (x_n innermost first).
-func (q *Query[T]) BoundVars() []int {
-	free := make(map[int]bool, len(q.Free))
-	for _, v := range q.Free {
-		free[v] = true
-	}
-	var out []int
-	for v := q.H.NumVertices() - 1; v >= 0; v-- {
-		if !free[v] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
 // Validate checks structural well-formedness: one factor per hyperedge
 // with a schema equal to the edge's vertices, free variables present in
 // H, tuples within the domain, and a positive domain size.

@@ -9,19 +9,36 @@ import (
 	"repro/internal/semiring"
 )
 
-func TestBoundVarsOrder(t *testing.T) {
+// TestAggregateOutOrder pins eq. (4)'s elimination order: bound
+// variables leave innermost (largest id) first, skipping free ones.
+func TestAggregateOutOrder(t *testing.T) {
 	h := hypergraph.PathGraph(5)
 	q := &Query[bool]{S: sb, H: h, Free: []int{1, 3}, DomSize: 2,
 		Factors: emptyFactors(h)}
-	got := q.BoundVars()
+	free := map[int]bool{1: true, 3: true}
+	var order []int
+	b := relation.NewBuilder[bool](sb, []int{0, 1, 2, 3, 4})
+	b.AddOne(0, 0, 0, 0, 0)
+	out, err := AggregateOut(q, b.Build(), func(v int) bool {
+		if !free[v] {
+			order = append(order, v)
+		}
+		return free[v]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []int{4, 2, 0} // descending, skipping free vars
-	if len(got) != len(want) {
-		t.Fatalf("BoundVars = %v, want %v", got, want)
+	if len(order) != len(want) {
+		t.Fatalf("elimination order = %v, want %v", order, want)
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("BoundVars = %v, want %v", got, want)
+		if order[i] != want[i] {
+			t.Fatalf("elimination order = %v, want %v", order, want)
 		}
+	}
+	if got := out.Schema(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("remaining schema = %v, want [1 3]", got)
 	}
 }
 

@@ -8,6 +8,27 @@ import (
 	"repro/internal/relation"
 )
 
+// AggregateOut eliminates, innermost (largest id) first, every schema
+// variable of r for which keep reports false, applying each variable's
+// per-query aggregate operator (eq. 4). It is the shared push-down step
+// of Corollary G.2 used by every solver and by the protocol engine's
+// child messages, core phase, and finalization.
+func AggregateOut[T any](q *Query[T], r *relation.Relation[T], keep func(v int) bool) (*relation.Relation[T], error) {
+	schema := r.Schema()
+	var err error
+	for i := len(schema) - 1; i >= 0; i-- {
+		x := schema[i]
+		if keep(x) {
+			continue
+		}
+		r, err = relation.EliminateVar(q.S, r, x, q.Op(x), q.DomSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
 // BruteForce evaluates the query by materializing the full join of all
 // factors and then aggregating the bound variables innermost-first
 // (x_n, x_{n-1}, ..., x_{ℓ+1} per eq. 4). It is exponential in general
@@ -20,18 +41,11 @@ func BruteForce[T any](q *Query[T]) (*relation.Relation[T], error) {
 	for _, f := range q.Factors {
 		joined = relation.Join(q.S, joined, f)
 	}
-	out := joined
-	var err error
-	for _, v := range q.BoundVars() {
-		if !hypergraph.ContainsSorted(out.Schema(), v) {
-			continue
-		}
-		out, err = relation.EliminateVar(q.S, out, v, q.Op(v), q.DomSize)
-		if err != nil {
-			return nil, err
-		}
+	free := make(map[int]bool, len(q.Free))
+	for _, v := range q.Free {
+		free[v] = true
 	}
-	return out, nil
+	return AggregateOut(q, joined, func(v int) bool { return free[v] })
 }
 
 // Solve evaluates the query with the GHD message-passing algorithm of
@@ -139,28 +153,16 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 		// in the parent's bag (running intersection guarantees a
 		// variable escaping the subtree appears in the parent bag) and
 		// not free. Innermost (highest id) first, per eq. 4.
-		var keep []int
+		var parentBag []int
 		if v != g.Root {
-			keep = g.Bags[g.Parent[v]]
+			parentBag = g.Bags[g.Parent[v]]
 		}
-		schema := cur.Schema()
-		var private []int
-		for i := len(schema) - 1; i >= 0; i-- {
-			x := schema[i]
-			if free[x] {
-				continue
-			}
-			if v != g.Root && hypergraph.ContainsSorted(keep, x) {
-				continue
-			}
-			private = append(private, x)
-		}
-		var err error
-		for _, x := range private {
-			cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
-			if err != nil {
-				return nil, err
-			}
+		atRoot := v == g.Root
+		cur, err := AggregateOut(q, cur, func(x int) bool {
+			return free[x] || (!atRoot && hypergraph.ContainsSorted(parentBag, x))
+		})
+		if err != nil {
+			return nil, err
 		}
 		msgs[v] = cur
 	}

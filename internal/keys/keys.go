@@ -1,0 +1,140 @@
+// Package keys provides the fixed-width tuple-key codecs shared by the
+// relation kernel and the protocol engine.
+//
+// The hot paths of the paper's evaluation — Join/Semijoin/EliminateVar
+// inside every star reduction of Theorem 4.1, and the keyed
+// converge-casts of Theorem 3.11 — all need to identify tuples by a
+// subset of their columns. Packing up to two int32 attribute values into
+// one uint64 keeps those lookups allocation-free and lets sorted-merge
+// code compare keys with a single integer comparison; the big-endian
+// string codec remains as the arbitrary-arity fallback and as the wire
+// encoding of converge-cast items.
+//
+// Packed keys are order-preserving: if tuple u precedes tuple v in the
+// lexicographic (signed int32) order the relations maintain, then
+// Pack(u) < Pack(v) as uint64. This is what lets the relation kernel
+// sort and merge on packed keys directly.
+package keys
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/bits"
+)
+
+// MaxPacked is the largest number of int32 columns a uint64 key can hold.
+const MaxPacked = 2
+
+// signBias flips the sign bit so that unsigned comparison of packed
+// words agrees with signed comparison of the original int32 values.
+const signBias = 0x80000000
+
+// Pack1 packs one int32 into an order-preserving uint64 key.
+func Pack1(x int32) uint64 { return uint64(uint32(x) ^ signBias) }
+
+// Pack2 packs two int32s; uint64 order equals lexicographic (x, y) order.
+func Pack2(x, y int32) uint64 { return Pack1(x)<<32 | Pack1(y) }
+
+// Unpack1 inverts Pack1.
+func Unpack1(k uint64) int32 { return int32(uint32(k) ^ signBias) }
+
+// Unpack2 inverts Pack2.
+func Unpack2(k uint64) (int32, int32) {
+	return Unpack1(k >> 32), Unpack1(k & 0xffffffff)
+}
+
+// PackCols packs the selected columns of a tuple (all columns when cols
+// is nil). len(cols) (or len(t)) must be ≤ MaxPacked; zero columns pack
+// to the zero key.
+func PackCols(t []int32, cols []int) uint64 {
+	if cols == nil {
+		switch len(t) {
+		case 0:
+			return 0
+		case 1:
+			return Pack1(t[0])
+		case 2:
+			return Pack2(t[0], t[1])
+		}
+		panic("keys: PackCols on more than MaxPacked columns")
+	}
+	switch len(cols) {
+	case 0:
+		return 0
+	case 1:
+		return Pack1(t[cols[0]])
+	case 2:
+		return Pack2(t[cols[0]], t[cols[1]])
+	}
+	panic("keys: PackCols on more than MaxPacked columns")
+}
+
+// Encode packs int32 values into a big-endian string key; sorting keys
+// sorts the tuples lexicographically on the raw uint32 bit patterns
+// (attribute values are domain indices ≥ 0, where the two orders agree).
+func Encode(vals ...int32) string {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// EncodeCols encodes selected columns (all columns when cols is nil) of
+// a tuple as a string key.
+func EncodeCols(t []int32, cols []int) string {
+	if cols == nil {
+		return Encode(t...)
+	}
+	buf := make([]byte, 4*len(cols))
+	for i, c := range cols {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(t[c]))
+	}
+	return string(buf)
+}
+
+// ChunkString deterministically assigns a string key to one of n chunks
+// (every player computes this locally; it mirrors the paper's splitting
+// of Dom(A) across the directed paths W₁, W₂ in Example 2.3).
+func ChunkString(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Chunk assigns a packed key of ncols columns to one of n chunks. It
+// hashes the same big-endian bytes ChunkString sees for the equivalent
+// string key, so packed and string codecs agree on chunk placement.
+func Chunk(k uint64, ncols, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var buf [8]byte
+	switch ncols {
+	case 0:
+		// Zero columns: hash the empty byte string, like ChunkString("").
+	case 1:
+		binary.BigEndian.PutUint32(buf[:4], uint32(Unpack1(k)))
+	case 2:
+		x, y := Unpack2(k)
+		binary.BigEndian.PutUint32(buf[:4], uint32(x))
+		binary.BigEndian.PutUint32(buf[4:], uint32(y))
+	default:
+		panic("keys: Chunk on more than MaxPacked columns")
+	}
+	h := fnv.New32a()
+	h.Write(buf[:4*ncols])
+	return int(h.Sum32() % uint32(n))
+}
+
+// Bits returns the number of bits needed to represent x (at least 1),
+// the channel-cost helper used when sizing protocol items.
+func Bits(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return bits.Len(uint(x))
+}

@@ -1,0 +1,102 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	vals := []int32{-1 << 31, -7, -1, 0, 1, 42, 1<<31 - 1}
+	for _, x := range vals {
+		if got := Unpack1(Pack1(x)); got != x {
+			t.Errorf("Unpack1(Pack1(%d)) = %d", x, got)
+		}
+		for _, y := range vals {
+			gx, gy := Unpack2(Pack2(x, y))
+			if gx != x || gy != y {
+				t.Errorf("Unpack2(Pack2(%d, %d)) = %d, %d", x, y, gx, gy)
+			}
+		}
+	}
+}
+
+func TestPackOrderPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b := int32(r.Int63()), int32(r.Int63())
+		c, d := int32(r.Int63()), int32(r.Int63())
+		lex := a < c || (a == c && b < d)
+		packed := Pack2(a, b) < Pack2(c, d)
+		if lex != packed {
+			t.Fatalf("order mismatch: (%d,%d) vs (%d,%d): lex=%v packed=%v", a, b, c, d, lex, packed)
+		}
+	}
+}
+
+func TestPackCols(t *testing.T) {
+	row := []int32{10, 20, 30}
+	if PackCols(row, []int{1}) != Pack1(20) {
+		t.Error("PackCols 1-col mismatch")
+	}
+	if PackCols(row, []int{0, 2}) != Pack2(10, 30) {
+		t.Error("PackCols 2-col mismatch")
+	}
+	if PackCols(row[:2], nil) != Pack2(10, 20) {
+		t.Error("PackCols nil-cols mismatch")
+	}
+	if PackCols(nil, []int{}) != 0 {
+		t.Error("PackCols empty should be 0")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	k := Encode(5, -3, 1<<30)
+	if len(k) != 12 {
+		t.Fatalf("len = %d, want 12", len(k))
+	}
+	if k[0] != 0 || k[3] != 5 || k[4] != 0xff {
+		t.Errorf("Encode not big-endian: % x", k)
+	}
+	row := []int32{7, 8, 9}
+	if EncodeCols(row, []int{2, 0}) != Encode(9, 7) {
+		t.Error("EncodeCols mismatch")
+	}
+	if EncodeCols(row, nil) != Encode(7, 8, 9) {
+		t.Error("EncodeCols nil mismatch")
+	}
+}
+
+// TestChunkAgreement: the packed-key chunker must place keys exactly
+// where the string chunker places the equivalent encoded key, so mixed
+// codec choices across protocol phases keep chunk placement consistent.
+func TestChunkAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for n := 1; n <= 5; n++ {
+		for i := 0; i < 200; i++ {
+			x, y := int32(r.Intn(1000)), int32(r.Intn(1000))
+			if Chunk(Pack1(x), 1, n) != ChunkString(Encode(x), n) {
+				t.Fatalf("1-col chunk mismatch for %d (n=%d)", x, n)
+			}
+			if Chunk(Pack2(x, y), 2, n) != ChunkString(Encode(x, y), n) {
+				t.Fatalf("2-col chunk mismatch for (%d,%d) (n=%d)", x, y, n)
+			}
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9}
+	for x, want := range cases {
+		if got := Bits(x); got != want {
+			t.Errorf("Bits(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestChunkZeroColumns(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		if Chunk(0, 0, n) != ChunkString("", n) {
+			t.Fatalf("0-col chunk disagrees with empty string chunk at n=%d", n)
+		}
+	}
+}

@@ -1,9 +1,9 @@
 package protocol
 
 import (
+	"cmp"
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"slices"
 
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -16,6 +16,10 @@ import (
 // every node and dropping keys absent from any constraining branch —
 // exactly the pipelined semijoin chains of Examples 2.1–2.3 when the
 // tree is a path.
+//
+// Streams are generic in the key type: packed uint64 keys carry tuples
+// of ≤ keys.MaxPacked columns (and tuple indices) allocation-free, while
+// big-endian string keys remain the arbitrary-arity fallback.
 
 // timedValue is a value annotated with the round at which it became
 // available at the current node.
@@ -25,16 +29,16 @@ type timedValue[T any] struct {
 }
 
 // keyedStream is a deterministic (sorted-key) stream of timed values.
-type keyedStream[T any] struct {
-	keys []string
-	m    map[string]timedValue[T]
+type keyedStream[K cmp.Ordered, T any] struct {
+	keys []K
+	m    map[K]timedValue[T]
 }
 
-func newKeyedStream[T any]() *keyedStream[T] {
-	return &keyedStream[T]{m: make(map[string]timedValue[T])}
+func newKeyedStream[K cmp.Ordered, T any]() *keyedStream[K, T] {
+	return &keyedStream[K, T]{m: make(map[K]timedValue[T])}
 }
 
-func (s *keyedStream[T]) add(k string, v T, ready int) {
+func (s *keyedStream[K, T]) add(k K, v T, ready int) {
 	if _, dup := s.m[k]; dup {
 		panic("protocol: duplicate key in stream")
 	}
@@ -42,10 +46,10 @@ func (s *keyedStream[T]) add(k string, v T, ready int) {
 	s.m[k] = timedValue[T]{v, ready}
 }
 
-func (s *keyedStream[T]) sortKeys() { sort.Strings(s.keys) }
+func (s *keyedStream[K, T]) sortKeys() { slices.Sort(s.keys) }
 
 // convergeSpec configures one keyed converge-cast over one tree.
-type convergeSpec[T any] struct {
+type convergeSpec[K cmp.Ordered, T any] struct {
 	net   *netsim.Network
 	tree  *netsim.Tree
 	start int
@@ -53,7 +57,7 @@ type convergeSpec[T any] struct {
 	itemBits int
 	// local returns a node's own keyed contribution (nil when the node
 	// only relays). Keys must be unique per node.
-	local func(node int) map[string]T
+	local func(node int) map[K]T
 	// combine is the semiring product folding branch values.
 	combine func(a, b T) T
 }
@@ -61,7 +65,7 @@ type convergeSpec[T any] struct {
 // run executes the converge-cast and returns the root's stream (keys
 // surviving every constraining branch, with combined values and the
 // rounds at which the root held them).
-func (c *convergeSpec[T]) run() (*keyedStream[T], error) {
+func (c *convergeSpec[K, T]) run() (*keyedStream[K, T], error) {
 	g := c.net.Graph()
 	// Orient the tree.
 	in := make(map[int]bool, len(c.tree.Edges))
@@ -90,20 +94,20 @@ func (c *convergeSpec[T]) run() (*keyedStream[T], error) {
 		return nil, fmt.Errorf("protocol: converge edge set is not a tree rooted at %d", c.tree.Root)
 	}
 	for u := range children {
-		sort.Ints(children[u])
+		slices.Sort(children[u])
 	}
 
-	var walk func(u int) (*keyedStream[T], error)
-	walk = func(u int) (*keyedStream[T], error) {
+	var walk func(u int) (*keyedStream[K, T], error)
+	walk = func(u int) (*keyedStream[K, T], error) {
 		// Gather branch streams, shipping each child's stream up its
 		// edge with pipelined per-item reservations.
-		var branches []*keyedStream[T]
+		var branches []*keyedStream[K, T]
 		for _, v := range children[u] {
 			sub, err := walk(v)
 			if err != nil {
 				return nil, err
 			}
-			shipped := newKeyedStream[T]()
+			shipped := newKeyedStream[K, T]()
 			for _, k := range sub.keys {
 				tv := sub.m[k]
 				arrive, err := c.net.Reserve(v, u, maxInt(tv.ready, c.start), c.itemBits)
@@ -117,12 +121,12 @@ func (c *convergeSpec[T]) run() (*keyedStream[T], error) {
 		loc := c.local(u)
 		// Intersection semantics: a key survives iff present in every
 		// branch and in the local contribution (when the node has one).
-		out := newKeyedStream[T]()
+		out := newKeyedStream[K, T]()
 		if len(branches) == 0 && loc == nil {
 			return out, nil // bare relay leaf: contributes nothing
 		}
 		// Candidate keys: the first constraining source.
-		var candidates []string
+		var candidates []K
 		if loc != nil {
 			candidates = sortedKeys(loc)
 		} else {
@@ -161,12 +165,12 @@ func (c *convergeSpec[T]) run() (*keyedStream[T], error) {
 	return walk(c.tree.Root)
 }
 
-func sortedKeys[T any](m map[string]T) []string {
-	out := make([]string, 0, len(m))
+func sortedKeys[K cmp.Ordered, T any](m map[K]T) []K {
+	out := make([]K, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -222,18 +226,6 @@ func (b *broadcastSpec) run() (int, error) {
 		return 0, err
 	}
 	return finish, nil
-}
-
-// chunkOf deterministically assigns a key to one of n chunks (every
-// player computes this locally; it mirrors the paper's splitting of
-// Dom(A) across the directed paths W₁, W₂ in Example 2.3).
-func chunkOf(key string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
 }
 
 // pruneToTerminals drops non-terminal leaves from a Steiner tree so that

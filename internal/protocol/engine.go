@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/ghd"
 	"repro/internal/hypergraph"
+	"repro/internal/keys"
 	"repro/internal/netsim"
 	"repro/internal/relation"
 	"repro/internal/topology"
@@ -26,6 +28,30 @@ type runner[T any] struct {
 	rel    []*relation.Relation[T] // current relation per GHD node
 	owner  []int                   // current holder per GHD node (-1: none)
 	finish []int                   // round at which the node's relation is ready
+}
+
+// keyCodec encodes tuple columns as converge-cast keys of type K and
+// assigns keys to Steiner-tree chunks. The uint64 codec covers tuples of
+// ≤ keys.MaxPacked columns (and tuple indices) without allocating; the
+// string codec is the arbitrary-arity fallback. Both chunk identically
+// (keys.Chunk hashes the same bytes keys.ChunkString sees).
+type keyCodec[K cmp.Ordered] struct {
+	encode func(t []int32, cols []int) K
+	chunk  func(k K, n int) int
+}
+
+func u64Codec(ncols int) keyCodec[uint64] {
+	return keyCodec[uint64]{
+		encode: func(t []int32, cols []int) uint64 { return keys.PackCols(t, cols) },
+		chunk:  func(k uint64, n int) int { return keys.Chunk(k, ncols, n) },
+	}
+}
+
+func strCodec() keyCodec[string] {
+	return keyCodec[string]{
+		encode: keys.EncodeCols,
+		chunk:  keys.ChunkString,
+	}
 }
 
 // Run executes the main protocol end to end and returns the answer
@@ -112,21 +138,10 @@ func RunOnGHD[T any](s *Setup[T], gh *ghd.GHD) (*relation.Relation[T], Report, e
 // bag, hence by the running intersection property also in the parent
 // bag) and is eliminated innermost-first with its per-variable operator.
 func (r *runner[T]) childMessage(c, parent int) (*relation.Relation[T], error) {
-	msg := r.rel[c]
-	schema := msg.Schema()
 	parentBag := r.g.Bags[parent]
-	for i := len(schema) - 1; i >= 0; i-- {
-		x := schema[i]
-		if hypergraph.ContainsSorted(parentBag, x) {
-			continue
-		}
-		var err error
-		msg, err = relation.EliminateVar(r.s.Q.S, msg, x, r.s.Q.Op(x), r.s.Q.DomSize)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return msg, nil
+	return faq.AggregateOut(r.s.Q, r.rel[c], func(x int) bool {
+		return hypergraph.ContainsSorted(parentBag, x)
+	})
 }
 
 // starReduce runs Algorithm 1/2/3 on the star centered at GHD node v
@@ -166,12 +181,10 @@ func (r *runner[T]) starReduce(v int, children []int, target int) error {
 	// Fast path (Examples 2.1–2.3): every child shares the same
 	// variable set W with the center, so converged (key, value) streams
 	// over π_W need no prior broadcast of the center relation.
-	shared := make(map[int][]int, len(children))
 	fast := true
 	var w []int
 	for i, c := range children {
 		sc := msgs[c].Schema()
-		shared[c] = sc
 		if i == 0 {
 			w = sc
 		} else if !equalIntSlices(w, sc) {
@@ -196,59 +209,82 @@ func (r *runner[T]) starReduce(v int, children []int, target int) error {
 		return err
 	}
 
-	var converged map[string]T
+	var weighted *relation.Relation[T]
 	var done int
-	if fast {
-		converged, done, err = r.fastStar(v, children, msgs, msgOwner, target, packing, start)
-	} else {
-		converged, done, err = r.generalStar(v, children, msgs, msgOwner, target, packing, start)
+	var werr error
+	switch {
+	case fast && len(w) <= keys.MaxPacked:
+		weighted, done, werr = fastWeight(r, r.rel[v], w, children, msgs, msgOwner, target, packing, start,
+			u64Codec(len(w)))
+	case fast:
+		weighted, done, werr = fastWeight(r, r.rel[v], w, children, msgs, msgOwner, target, packing, start,
+			strCodec())
+	default:
+		conv, d, err := generalStar(r, v, children, msgs, msgOwner, target, packing, start)
+		if err != nil {
+			return err
+		}
+		weighted = weightCenter(q, r.rel[v], conv, func(i int, t []int32) uint64 {
+			return keys.Pack1(int32(i))
+		})
+		done = d
 	}
-	if err != nil {
-		return err
+	if werr != nil {
+		return werr
 	}
 
 	// R′_P: center tuples filtered and weighted by the converged map.
-	var keyCols []int
-	if fast {
-		keyCols = columnsOf(r.rel[v].Schema(), w)
-	}
-	b := relation.NewBuilder(q.S, r.rel[v].Schema())
-	tuple := make([]int, r.rel[v].Arity())
-	for i := 0; i < r.rel[v].Len(); i++ {
-		t := r.rel[v].Tuple(i)
-		var key string
-		if fast {
-			key = encodeCols(t, keyCols)
-		} else {
-			key = encodeInts(int32(i))
-		}
-		m, ok := converged[key]
-		if !ok {
-			continue
-		}
-		for k := range t {
-			tuple[k] = int(t[k])
-		}
-		b.Add(tuple, q.S.Mul(r.rel[v].Value(i), m))
-	}
-	r.rel[v] = b.Build()
+	r.rel[v] = weighted
 	r.owner[v] = target
 	r.finish[v] = done
 	return nil
 }
 
+// fastWeight runs the fast-star converge-cast with the given codec and
+// weights the center relation by the converged map, keyed on the
+// center's columns for the common variable set w.
+func fastWeight[K cmp.Ordered, T any](r *runner[T], center *relation.Relation[T], w []int,
+	children []int, msgs map[int]*relation.Relation[T], msgOwner map[int]int, target int,
+	packing []*flow.SteinerTree, start int, cod keyCodec[K]) (*relation.Relation[T], int, error) {
+	conv, done, err := fastStar(r, children, msgs, msgOwner, target, packing, start, cod)
+	if err != nil {
+		return nil, 0, err
+	}
+	keyCols := columnsOf(center.Schema(), w)
+	return weightCenter(r.s.Q, center, conv, func(i int, t []int32) K {
+		return cod.encode(t, keyCols)
+	}), done, nil
+}
+
+// weightCenter builds R′_P: the center tuples whose key survived the
+// converge-cast, each weighted by the converged value.
+func weightCenter[K cmp.Ordered, T any](q *faq.Query[T], center *relation.Relation[T],
+	conv map[K]T, keyOf func(i int, t []int32) K) *relation.Relation[T] {
+	b := relation.NewBuilderHint(q.S, center.Schema(), center.Len())
+	for i := 0; i < center.Len(); i++ {
+		t := center.Tuple(i)
+		m, ok := conv[keyOf(i, t)]
+		if !ok {
+			continue
+		}
+		b.AddRow(t, q.S.Mul(center.Value(i), m))
+	}
+	return b.Build()
+}
+
 // fastStar converges keyed messages π_W directly (no broadcast): the
 // pipelined semijoin chains of Examples 2.1–2.3 generalized to Steiner
 // packings.
-func (r *runner[T]) fastStar(v int, children []int, msgs map[int]*relation.Relation[T],
-	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int) (map[string]T, int, error) {
+func fastStar[K cmp.Ordered, T any](r *runner[T], children []int, msgs map[int]*relation.Relation[T],
+	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int,
+	cod keyCodec[K]) (map[K]T, int, error) {
 	q := r.s.Q
 	itemBits := clampBits(r.s.TupleBits(len(msgs[children[0]].Schema())), r.s.Bits())
 	// Per-player local contribution: intersect keys across the player's
 	// children, multiplying values.
-	playerMaps := make(map[int]map[string]T)
+	playerMaps := make(map[int]map[K]T)
 	for _, c := range children {
-		m := relationToMap(q, msgs[c], nil)
+		m := relationToMap(msgs[c], cod)
 		o := msgOwner[c]
 		if cur, ok := playerMaps[o]; ok {
 			playerMaps[o] = intersectMaps(q, cur, m)
@@ -256,31 +292,30 @@ func (r *runner[T]) fastStar(v int, children []int, msgs map[int]*relation.Relat
 			playerMaps[o] = m
 		}
 	}
-	return r.convergeOverPacking(playerMaps, target, packing, start, itemBits)
+	return convergeOverPacking(r, playerMaps, target, packing, start, itemBits, cod)
 }
 
 // generalStar implements the heterogeneous-star case of Algorithm 1:
 // the center relation is first broadcast over the packing (chunked per
 // tree), each child owner computes its value vector over the center's
 // tuple indices, and the vectors converge with component-wise ⊗
-// (footnote 24).
-func (r *runner[T]) generalStar(v int, children []int, msgs map[int]*relation.Relation[T],
-	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int) (map[string]T, int, error) {
+// (footnote 24). Index keys are packed uint64s throughout.
+func generalStar[T any](r *runner[T], v int, children []int, msgs map[int]*relation.Relation[T],
+	msgOwner map[int]int, target int, packing []*flow.SteinerTree, start int) (map[uint64]T, int, error) {
 	q := r.s.Q
 	center := r.rel[v]
 	src := r.owner[v]
 	tupleBits := clampBits(r.s.TupleBits(center.Arity()), r.s.Bits())
 
 	// Broadcast the center relation, chunked across the packing with the
-	// same key-hash chunking the converge phase uses.
+	// same key-hash chunking the converge phase uses (one counting pass).
+	chunkCount := make([]int, len(packing))
+	for i := 0; i < center.Len(); i++ {
+		chunkCount[keys.Chunk(keys.Pack1(int32(i)), 1, len(packing))]++
+	}
 	broadcastDone := make([]int, len(packing))
 	for ti, st := range packing {
-		n := 0
-		for i := 0; i < center.Len(); i++ {
-			if chunkOf(encodeInts(int32(i)), len(packing)) == ti {
-				n++
-			}
-		}
+		n := chunkCount[ti]
 		spec := &broadcastSpec{
 			net:      r.net,
 			tree:     &netsim.Tree{Root: src, Edges: st.Edges},
@@ -298,19 +333,25 @@ func (r *runner[T]) generalStar(v int, children []int, msgs map[int]*relation.Re
 	// Each player's vector over center tuple indices: for every child it
 	// owns, index i survives iff the child's message has the matching
 	// key; values multiply.
-	idxBits := clampBits(bitsLen(maxInt(center.Len(), 2)-1)+r.s.ValueBits(), r.s.Bits())
-	playerMaps := make(map[int]map[string]T)
+	idxBits := clampBits(keys.Bits(maxInt(center.Len(), 2)-1)+r.s.ValueBits(), r.s.Bits())
+	playerMaps := make(map[int]map[uint64]T)
 	for _, c := range children {
 		cols := columnsOf(center.Schema(), msgs[c].Schema())
-		lookup := relationToMap(q, msgs[c], nil)
-		vec := make(map[string]T, center.Len())
-		for i := 0; i < center.Len(); i++ {
-			key := encodeCols(center.Tuple(i), cols)
-			val, ok := lookup[key]
-			if !ok {
-				continue
+		vec := make(map[uint64]T, center.Len())
+		if len(cols) <= keys.MaxPacked {
+			lookup := relationToMap(msgs[c], u64Codec(len(cols)))
+			for i := 0; i < center.Len(); i++ {
+				if val, ok := lookup[keys.PackCols(center.Tuple(i), cols)]; ok {
+					vec[keys.Pack1(int32(i))] = val
+				}
 			}
-			vec[encodeInts(int32(i))] = val
+		} else {
+			lookup := relationToMap(msgs[c], strCodec())
+			for i := 0; i < center.Len(); i++ {
+				if val, ok := lookup[keys.EncodeCols(center.Tuple(i), cols)]; ok {
+					vec[keys.Pack1(int32(i))] = val
+				}
+			}
 		}
 		o := msgOwner[c]
 		if cur, ok := playerMaps[o]; ok {
@@ -320,29 +361,42 @@ func (r *runner[T]) generalStar(v int, children []int, msgs map[int]*relation.Re
 		}
 	}
 	// Converge each chunk after its broadcast completes.
-	return r.convergeOverPackingStaggered(playerMaps, target, packing, broadcastDone, idxBits)
+	return convergeOverPackingStaggered(r, playerMaps, target, packing, broadcastDone, idxBits, u64Codec(1))
 }
 
 // convergeOverPacking runs one keyed converge-cast per packed tree
 // (chunked by key hash) and merges the root streams.
-func (r *runner[T]) convergeOverPacking(playerMaps map[int]map[string]T, target int,
-	packing []*flow.SteinerTree, start, itemBits int) (map[string]T, int, error) {
+func convergeOverPacking[K cmp.Ordered, T any](r *runner[T], playerMaps map[int]map[K]T, target int,
+	packing []*flow.SteinerTree, start, itemBits int, cod keyCodec[K]) (map[K]T, int, error) {
 	starts := make([]int, len(packing))
 	for i := range starts {
 		starts[i] = start
 	}
-	return r.convergeOverPackingStaggered(playerMaps, target, packing, starts, itemBits)
+	return convergeOverPackingStaggered(r, playerMaps, target, packing, starts, itemBits, cod)
 }
 
-func (r *runner[T]) convergeOverPackingStaggered(playerMaps map[int]map[string]T, target int,
-	packing []*flow.SteinerTree, starts []int, itemBits int) (map[string]T, int, error) {
+func convergeOverPackingStaggered[K cmp.Ordered, T any](r *runner[T], playerMaps map[int]map[K]T, target int,
+	packing []*flow.SteinerTree, starts []int, itemBits int, cod keyCodec[K]) (map[K]T, int, error) {
 	q := r.s.Q
 	var terminals []int
 	for u := range playerMaps {
 		terminals = append(terminals, u)
 	}
 	terminals = topology.SortedUnique(append(terminals, target))
-	out := make(map[string]T)
+	// Partition each player's keys across the packed trees once (a map
+	// per chunk per player), instead of re-hashing every key per tree.
+	parts := make(map[int][]map[K]T, len(playerMaps))
+	for u, full := range playerMaps {
+		ps := make([]map[K]T, len(packing))
+		for i := range ps {
+			ps[i] = make(map[K]T)
+		}
+		for k, val := range full {
+			ps[cod.chunk(k, len(packing))][k] = val
+		}
+		parts[u] = ps
+	}
+	out := make(map[K]T)
 	finish := 0
 	for _, s := range starts {
 		if s > finish {
@@ -351,23 +405,17 @@ func (r *runner[T]) convergeOverPackingStaggered(playerMaps map[int]map[string]T
 	}
 	for ti, st := range packing {
 		tree := pruneToTerminals(r.s.G, &netsim.Tree{Root: target, Edges: st.Edges}, terminals)
-		spec := &convergeSpec[T]{
+		spec := &convergeSpec[K, T]{
 			net:      r.net,
 			tree:     tree,
 			start:    starts[ti],
 			itemBits: itemBits,
-			local: func(node int) map[string]T {
-				full, ok := playerMaps[node]
+			local: func(node int) map[K]T {
+				ps, ok := parts[node]
 				if !ok {
-					return nil
+					return nil // the node only relays
 				}
-				m := make(map[string]T)
-				for k, val := range full {
-					if chunkOf(k, len(packing)) == ti {
-						m[k] = val
-					}
-				}
-				return m
+				return ps[ti]
 			},
 			combine: q.S.Mul,
 		}
@@ -436,17 +484,9 @@ func (r *runner[T]) corePhase(root int, children []int) error {
 	for _, x := range q.Free {
 		free[x] = true
 	}
-	schema := cur.Schema()
-	for i := len(schema) - 1; i >= 0; i-- {
-		x := schema[i]
-		if free[x] {
-			continue
-		}
-		var err error
-		cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
-		if err != nil {
-			return err
-		}
+	cur, err := faq.AggregateOut(q, cur, func(x int) bool { return free[x] })
+	if err != nil {
+		return err
 	}
 	r.rel[root] = cur
 	r.owner[root] = out
@@ -459,22 +499,13 @@ func (r *runner[T]) corePhase(root int, children []int) error {
 func (r *runner[T]) finalize() (*relation.Relation[T], error) {
 	q := r.s.Q
 	root := r.g.Root
-	cur := r.rel[root]
 	free := make(map[int]bool, len(q.Free))
 	for _, x := range q.Free {
 		free[x] = true
 	}
-	schema := cur.Schema()
-	for i := len(schema) - 1; i >= 0; i-- {
-		x := schema[i]
-		if free[x] {
-			continue
-		}
-		var err error
-		cur, err = relation.EliminateVar(q.S, cur, x, q.Op(x), q.DomSize)
-		if err != nil {
-			return nil, err
-		}
+	cur, err := faq.AggregateOut(q, r.rel[root], func(x int) bool { return free[x] })
+	if err != nil {
+		return nil, err
 	}
 	if r.owner[root] != r.s.Output {
 		path := r.s.G.ShortestPath(r.owner[root], r.s.Output, nil)
@@ -493,44 +524,32 @@ func (r *runner[T]) finalize() (*relation.Relation[T], error) {
 }
 
 // localStar reduces a star without communication (all relations at one
-// player).
+// player). Each child message's schema is a subset of the center's, so
+// filtering-and-weighting the center by a message is exactly the natural
+// join — which the relation kernel executes with a sorted merge whenever
+// the shared variables are a schema prefix.
 func localStar[T any](q *faq.Query[T], center *relation.Relation[T], children []int, msgs map[int]*relation.Relation[T]) *relation.Relation[T] {
 	cur := center
 	for _, c := range children {
-		cols := columnsOf(cur.Schema(), msgs[c].Schema())
-		lookup := relationToMap(q, msgs[c], nil)
-		b := relation.NewBuilder(q.S, cur.Schema())
-		tuple := make([]int, cur.Arity())
-		for i := 0; i < cur.Len(); i++ {
-			t := cur.Tuple(i)
-			val, ok := lookup[encodeCols(t, cols)]
-			if !ok {
-				continue
-			}
-			for k := range t {
-				tuple[k] = int(t[k])
-			}
-			b.Add(tuple, q.S.Mul(cur.Value(i), val))
-		}
-		cur = b.Build()
+		cur = relation.Join(q.S, cur, msgs[c])
 	}
 	return cur
 }
 
 // relationToMap renders a message relation as key → value (keys encode
 // the full tuple in schema order).
-func relationToMap[T any](q *faq.Query[T], m *relation.Relation[T], _ []int) map[string]T {
-	out := make(map[string]T, m.Len())
+func relationToMap[K cmp.Ordered, T any](m *relation.Relation[T], cod keyCodec[K]) map[K]T {
+	out := make(map[K]T, m.Len())
 	for i := 0; i < m.Len(); i++ {
-		out[encodeCols(m.Tuple(i), nil)] = m.Value(i)
+		out[cod.encode(m.Tuple(i), nil)] = m.Value(i)
 	}
 	return out
 }
 
 // intersectMaps keeps keys present in both maps, multiplying values —
 // the local fold when one player owns several star leaves.
-func intersectMaps[T any](q *faq.Query[T], a, b map[string]T) map[string]T {
-	out := make(map[string]T)
+func intersectMaps[K cmp.Ordered, T any](q *faq.Query[T], a, b map[K]T) map[K]T {
+	out := make(map[K]T)
 	for k, va := range a {
 		if vb, ok := b[k]; ok {
 			out[k] = q.S.Mul(va, vb)
@@ -548,18 +567,6 @@ func columnsOf(schema, vs []int) []int {
 		cols[i] = j
 	}
 	return cols
-}
-
-// encodeCols encodes selected columns (all, when cols is nil) of a tuple.
-func encodeCols(t []int32, cols []int) string {
-	if cols == nil {
-		return encodeInts(t...)
-	}
-	vals := make([]int32, len(cols))
-	for i, c := range cols {
-		vals[i] = t[c]
-	}
-	return encodeInts(vals...)
 }
 
 func clampBits(bits, cap int) int {

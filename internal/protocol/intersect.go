@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/flow"
+	"repro/internal/hypergraph"
+	"repro/internal/keys"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -58,7 +60,7 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 		if u < 2 {
 			u = 2
 		}
-		itemBits = bitsLen(u - 1)
+		itemBits = keys.Bits(u - 1)
 	}
 	bpr := in.BitsPerRound
 	if bpr == 0 {
@@ -82,20 +84,20 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 	var result []int
 	for ti, st := range packing {
 		tree := pruneToTerminals(in.G, &netsim.Tree{Root: in.Output, Edges: st.Edges}, K)
-		spec := &convergeSpec[bool]{
+		spec := &convergeSpec[uint64, bool]{
 			net:      net,
 			tree:     tree,
 			start:    0,
 			itemBits: itemBits,
-			local: func(node int) map[string]bool {
+			local: func(node int) map[uint64]bool {
 				s, ok := in.Sets[node]
 				if !ok {
 					return nil
 				}
-				m := make(map[string]bool)
+				m := make(map[uint64]bool, len(s))
 				for _, x := range s {
-					k := encodeInts(int32(x))
-					if chunkOf(k, len(packing)) == ti {
+					k := keys.Pack1(int32(x))
+					if keys.Chunk(k, 1, len(packing)) == ti {
 						m[k] = true
 					}
 				}
@@ -108,7 +110,7 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 			return nil, rep, err
 		}
 		for _, k := range out.keys {
-			result = append(result, int(decodeInt(k)))
+			result = append(result, int(keys.Unpack1(k)))
 		}
 	}
 	sort.Ints(result)
@@ -117,56 +119,23 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 	return result, rep, nil
 }
 
+// intersectLocal computes the intersection of the players' sets by a
+// sort-based merge: each set is sorted and deduplicated once, then
+// folded through a linear sorted-set intersection.
 func intersectLocal(sets map[int][]int, K []int) []int {
-	counts := map[int]int{}
-	players := 0
+	var out []int
+	first := true
 	for _, u := range K {
 		s, ok := sets[u]
 		if !ok {
-			continue
+			continue // a player without a set does not constrain the result
 		}
-		players++
-		seen := map[int]bool{}
-		for _, x := range s {
-			if !seen[x] {
-				seen[x] = true
-				counts[x]++
-			}
+		uniq := topology.SortedUnique(append([]int(nil), s...))
+		if first {
+			out, first = uniq, false
+		} else {
+			out = hypergraph.IntersectSorted(out, uniq)
 		}
 	}
-	var out []int
-	for x, c := range counts {
-		if c == players {
-			out = append(out, x)
-		}
-	}
-	sort.Ints(out)
 	return out
-}
-
-// encodeInts packs int32 values into a big-endian string key; sorting
-// keys sorts the tuples lexicographically.
-func encodeInts(vals ...int32) string {
-	buf := make([]byte, 0, 4*len(vals))
-	for _, v := range vals {
-		x := uint32(v)
-		buf = append(buf, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
-	}
-	return string(buf)
-}
-
-func decodeInt(k string) int32 {
-	return int32(uint32(k[0])<<24 | uint32(k[1])<<16 | uint32(k[2])<<8 | uint32(k[3]))
-}
-
-func bitsLen(x int) int {
-	n := 0
-	for x > 0 {
-		n++
-		x >>= 1
-	}
-	if n == 0 {
-		n = 1
-	}
-	return n
 }

@@ -1,0 +1,145 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+// Micro-benchmarks for the relation kernel hot path: Join, Semijoin,
+// Project, EliminateVar, and Builder.Build at n ∈ {1e3, 1e4, 1e5}.
+// These are the per-tuple constant factors behind every protocol round
+// in the paper's evaluation (each GHD node of a Theorem 4.1 run calls
+// Semijoin/Project/Join once per star reduction), so `make bench`
+// tracks them in BENCH_relation.json across PRs.
+
+var benchSizes = []int{1_000, 10_000, 100_000}
+
+// benchRel builds a relation R(v0, v1) with n random tuples drawn from a
+// domain sized so that joins stay selective but non-trivial.
+func benchRel(schema []int, n int, seed int64) *Relation[float64] {
+	r := rand.New(rand.NewSource(seed))
+	dom := n / 4
+	if dom < 4 {
+		dom = 4
+	}
+	b := NewBuilder[float64](semiring.SumProduct{}, schema)
+	tuple := make([]int, len(schema))
+	for i := 0; i < n; i++ {
+		for j := range tuple {
+			tuple[j] = r.Intn(dom)
+		}
+		b.Add(tuple, 1+r.Float64())
+	}
+	return b.Build()
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := semiring.SumProduct{}
+			// R(0,1) ⋈ S(1,2): one shared column, sorted-prefix on S
+			// but not on R — exercises the general path.
+			left := benchRel([]int{0, 1}, n, 1)
+			right := benchRel([]int{1, 2}, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Join(s, left, right)
+			}
+		})
+	}
+}
+
+func BenchmarkJoinPrefix(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := semiring.SumProduct{}
+			// R(0,1) ⋈ S(0,2): the shared column is a schema prefix of
+			// both operands — the sorted-merge fast path.
+			left := benchRel([]int{0, 1}, n, 1)
+			right := benchRel([]int{0, 2}, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Join(s, left, right)
+			}
+		})
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := semiring.SumProduct{}
+			left := benchRel([]int{0, 1}, n, 1)
+			right := benchRel([]int{0, 2}, n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Semijoin(s, left, right)
+			}
+		})
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := semiring.SumProduct{}
+			rel := benchRel([]int{0, 1, 2}, n, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Project(s, rel, []int{0, 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEliminateVar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := semiring.SumProduct{}
+			rel := benchRel([]int{0, 1, 2}, n, 4)
+			op := semiring.AddOf[float64](s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EliminateVar(s, rel, 2, op, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			dom := n / 4
+			if dom < 4 {
+				dom = 4
+			}
+			tuples := make([][2]int, n)
+			for i := range tuples {
+				tuples[i] = [2]int{r.Intn(dom), r.Intn(dom)}
+			}
+			s := semiring.SumProduct{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bd := NewBuilder[float64](s, []int{0, 1})
+				for _, t := range tuples {
+					bd.Add(t[:], 1)
+				}
+				bd.Build()
+			}
+		})
+	}
+}

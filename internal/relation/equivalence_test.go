@@ -1,0 +1,320 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/semiring"
+)
+
+// Equivalence property tests: the dispatching Join/Semijoin, the hash
+// paths, and the merge paths must all agree with the O(n·m) nested-loop
+// reference, across semirings (Boolean, counting, min-plus) and across
+// schema shapes that force every strategy:
+//
+//	prefix-shared ordered   → merge join, direct sorted emission
+//	prefix-shared unordered → merge join through the Builder
+//	non-prefix shared ≤ 2   → packed uint64 hash join
+//	non-prefix shared > 2   → string-key hash join (cold fallback)
+//	disjoint schemas        → cartesian product
+//	identical schemas       → full-key intersection
+
+// schemaPairs enumerates the shapes described above.
+var schemaPairs = [][2][]int{
+	{{0, 1}, {0, 2}},             // merge, ordered
+	{{0, 1, 2}, {0, 1, 3}},       // merge p=2, ordered
+	{{0, 3}, {0, 2}},             // merge, unordered (aRest > bRest)
+	{{0, 1}, {1, 2}},             // hash, packed key
+	{{1, 2}, {0, 2}},             // hash, packed key
+	{{0}, {1}},                   // cartesian
+	{{0, 1}, {0, 1}},             // identical schemas
+	{{0, 1, 2, 3}, {0, 1, 2, 4}}, // merge p=3 (beyond MaxPacked)
+	{{1, 2, 3, 4}, {0, 2, 3, 4}}, // hash, string-key fallback (3 shared)
+	{{0, 1, 2}, {2}},             // message-style: b ⊆ a, non-prefix
+	{{0, 1, 2}, {0}},             // message-style: b ⊆ a, prefix
+}
+
+func randRelT[T any](s semiring.Semiring[T], r *rand.Rand, schema []int, n, dom int, val func(*rand.Rand) T) *Relation[T] {
+	b := NewBuilder(s, schema)
+	tuple := make([]int, len(schema))
+	for i := 0; i < n; i++ {
+		for j := range tuple {
+			tuple[j] = r.Intn(dom)
+		}
+		b.Add(tuple, val(r))
+	}
+	return b.Build()
+}
+
+// semijoinNestedLoop is the reference semijoin: keep a's tuples that
+// match some b tuple on the shared columns.
+func semijoinNestedLoop[T any](a, b *Relation[T], shared []int) *Relation[T] {
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	out := &Relation[T]{schema: a.schema}
+	for i := 0; i < a.Len(); i++ {
+		ta := a.Tuple(i)
+		for j := 0; j < b.Len(); j++ {
+			tb := b.Tuple(j)
+			match := true
+			for k := range shared {
+				if ta[aCols[k]] != tb[bCols[k]] {
+					match = false
+					break
+				}
+			}
+			if match {
+				out.rows = append(out.rows, ta...)
+				out.vals = append(out.vals, a.vals[i])
+				break
+			}
+		}
+	}
+	return out
+}
+
+func checkJoinEquivalence[T any](t *testing.T, s semiring.Semiring[T], val func(*rand.Rand) T, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 40; trial++ {
+		for pi, pair := range schemaPairs {
+			a := randRelT(s, r, pair[0], 1+r.Intn(12), 2+r.Intn(3), val)
+			b := randRelT(s, r, pair[1], 1+r.Intn(12), 2+r.Intn(3), val)
+			shared := hypergraph.IntersectSorted(a.Schema(), b.Schema())
+
+			want := joinNestedLoop(s, a, b)
+			if got := Join(s, a, b); !Equal(s, got, want) {
+				t.Fatalf("pair %d trial %d: Join != nested-loop\n a=%v\n b=%v\n got=%v\n want=%v",
+					pi, trial, a, b, got, want)
+			}
+			if got := joinHash(s, a, b, shared); !Equal(s, got, want) {
+				t.Fatalf("pair %d trial %d: hash join != nested-loop", pi, trial)
+			}
+			if isPrefixOf(shared, a.Schema()) && isPrefixOf(shared, b.Schema()) {
+				if got := joinMerge(s, a, b, len(shared)); !Equal(s, got, want) {
+					t.Fatalf("pair %d trial %d: merge join != nested-loop", pi, trial)
+				}
+			}
+
+			sjWant := semijoinNestedLoop(a, b, shared)
+			if got := Semijoin(s, a, b); !Equal(s, got, sjWant) {
+				t.Fatalf("pair %d trial %d: Semijoin != nested-loop\n a=%v\n b=%v", pi, trial, a, b)
+			}
+			if got := semijoinHash(a, b, shared); !Equal(s, got, sjWant) {
+				t.Fatalf("pair %d trial %d: hash semijoin != nested-loop", pi, trial)
+			}
+			if isPrefixOf(shared, a.Schema()) && isPrefixOf(shared, b.Schema()) {
+				if got := semijoinMerge(a, b, len(shared)); !Equal(s, got, sjWant) {
+					t.Fatalf("pair %d trial %d: merge semijoin != nested-loop", pi, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinStrategyEquivalenceBool(t *testing.T) {
+	checkJoinEquivalence[bool](t, semiring.Bool{}, func(r *rand.Rand) bool { return r.Intn(4) > 0 }, 101)
+}
+
+func TestJoinStrategyEquivalenceCount(t *testing.T) {
+	checkJoinEquivalence[int64](t, semiring.Count{}, func(r *rand.Rand) int64 { return int64(r.Intn(5)) }, 102)
+}
+
+func TestJoinStrategyEquivalenceMinPlus(t *testing.T) {
+	checkJoinEquivalence[float64](t, semiring.MinPlus{}, func(r *rand.Rand) float64 { return float64(r.Intn(20)) }, 103)
+}
+
+// TestJoinMergeOrientation pins the operand swap: when every non-shared
+// variable of b precedes every non-shared variable of a, Join must still
+// return sorted output.
+func TestJoinMergeOrientation(t *testing.T) {
+	s := semiring.Bool{}
+	r := rand.New(rand.NewSource(7))
+	a := randRelT[bool](s, r, []int{0, 3}, 10, 3, func(*rand.Rand) bool { return true })
+	b := randRelT[bool](s, r, []int{0, 2}, 10, 3, func(*rand.Rand) bool { return true })
+	got := Join(s, a, b)
+	want := joinNestedLoop(s, a, b)
+	if !Equal(s, got, want) {
+		t.Fatalf("swapped-orientation join mismatch:\n got=%v\n want=%v", got, want)
+	}
+	for i := 1; i < got.Len(); i++ {
+		if compareShared(got.Tuple(i-1), got.Tuple(i), got.Arity()) > 0 {
+			t.Fatalf("join output not sorted at %d", i)
+		}
+	}
+}
+
+// TestProjectPrefixVsGeneral checks the contiguous-run projection fast
+// path against the builder path on the same inputs.
+func TestProjectPrefixVsGeneral(t *testing.T) {
+	s := semiring.SumProduct{}
+	r := rand.New(rand.NewSource(11))
+	rel := randRelT[float64](s, r, []int{0, 1, 2}, 60, 3, func(r *rand.Rand) float64 { return 1 + r.Float64() })
+	// Prefix projection (fast path) must equal projecting through an
+	// order-scrambling rename and back (builder path).
+	p1, err := Project(s, rel, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren, err := Rename(s, rel, map[int]int{0: 5, 1: 1, 2: 2}) // 0→5 scrambles column order
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Project(s, ren, []int{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Rename(s, p2, map[int]int{5: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s, p1, back) {
+		t.Fatalf("prefix projection != general projection:\n %v\n %v", p1, back)
+	}
+}
+
+// TestRenameFastPathSharesLayout pins the zero-copy rename: an
+// order-preserving rename must not re-sort and must not change tuples.
+func TestRenameFastPathSharesLayout(t *testing.T) {
+	s := semiring.Bool{}
+	b := NewBuilder[bool](s, []int{0, 1})
+	b.AddOne(3, 4)
+	b.AddOne(1, 2)
+	r := b.Build()
+	out, err := Rename(s, r, map[int]int{0: 2, 1: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Schema(); got[0] != 2 || got[1] != 7 {
+		t.Fatalf("schema = %v, want [2 7]", got)
+	}
+	for i := 0; i < r.Len(); i++ {
+		for k := range r.Tuple(i) {
+			if out.Tuple(i)[k] != r.Tuple(i)[k] {
+				t.Fatalf("tuple %d changed under order-preserving rename", i)
+			}
+		}
+	}
+}
+
+// TestEliminateVarPathsAgree drives the three EliminateVar strategies
+// (contiguous innermost, packed grouping, string fallback) against each
+// other by eliminating each variable of a 4-ary relation and checking
+// against brute-force reaggregation.
+func TestEliminateVarPathsAgree(t *testing.T) {
+	s := semiring.SumProduct{}
+	add := semiring.AddOf[float64](s)
+	r := rand.New(rand.NewSource(13))
+	rel := randRelT[float64](s, r, []int{0, 1, 2, 3}, 80, 3, func(r *rand.Rand) float64 { return 1 + r.Float64() })
+	for _, v := range []int{0, 1, 2, 3} {
+		got, err := EliminateVar(s, rel, v, add, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := hypergraph.DiffSorted(rel.Schema(), []int{v})
+		want, err := Project(s, rel, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(s, got, want) {
+			t.Fatalf("EliminateVar(%d) != Project onto rest:\n got=%v\n want=%v", v, got, want)
+		}
+	}
+}
+
+// FuzzBuilderDuplicateMerge fuzzes Builder's duplicate merging against a
+// map-based reference aggregation over the counting semiring.
+func FuzzBuilderDuplicateMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 4})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{5, 1, 2, 1, 5, 2, 2, 5, 1})
+	f.Add([]byte{255, 0, 255, 0, 255, 0})
+	f.Add([]byte{7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := semiring.Count{}
+		b := NewBuilder[int64](s, []int{0, 1, 2})
+		ref := make(map[[3]int]int64)
+		for i := 0; i+2 < len(data); i += 3 {
+			tup := [3]int{int(data[i]) % 7, int(data[i+1]) % 7, int(data[i+2]) % 7}
+			val := int64(data[i]%3) - 1 // values in {-1, 0, 1}: exercises zero-drop
+			b.Add(tup[:], val)
+			ref[tup] += val
+		}
+		rel := b.Build()
+		nonzero := 0
+		for _, v := range ref {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if rel.Len() != nonzero {
+			t.Fatalf("Build kept %d tuples, reference has %d non-zero groups", rel.Len(), nonzero)
+		}
+		for i := 0; i < rel.Len(); i++ {
+			tup := rel.Tuple(i)
+			key := [3]int{int(tup[0]), int(tup[1]), int(tup[2])}
+			if ref[key] != rel.Value(i) {
+				t.Fatalf("tuple %v: merged value %d, reference %d", tup, rel.Value(i), ref[key])
+			}
+		}
+		for i := 1; i < rel.Len(); i++ {
+			if compareShared(rel.Tuple(i-1), rel.Tuple(i), 3) >= 0 {
+				t.Fatalf("Build output not strictly sorted at %d", i)
+			}
+		}
+	})
+}
+
+// TestBuilderHintCapacity sanity-checks that the hint presizes without
+// changing semantics.
+func TestBuilderHintCapacity(t *testing.T) {
+	s := semiring.Bool{}
+	b1 := NewBuilder[bool](s, []int{0, 1})
+	b2 := NewBuilderHint[bool](s, []int{0, 1}, 64)
+	for i := 0; i < 40; i++ {
+		b1.AddOne(i%5, i%7)
+		b2.AddOne(i%5, i%7)
+	}
+	if b2.Len() != 40 {
+		t.Fatalf("Builder.Len = %d, want 40", b2.Len())
+	}
+	if !Equal(s, b1.Build(), b2.Build()) {
+		t.Fatal("hinted builder built a different relation")
+	}
+}
+
+// TestJoinWithUnit pins the ⊗-identity: Unit ⋈ R = R with values scaled
+// by the unit's value.
+func TestJoinWithUnit(t *testing.T) {
+	s := semiring.SumProduct{}
+	b := NewBuilder[float64](s, []int{0, 1})
+	b.Add([]int{1, 2}, 0.5)
+	b.Add([]int{3, 4}, 0.25)
+	r := b.Build()
+	for name, u := range map[string]*Relation[float64]{
+		"left":  Join(s, Unit(s, 2.0), r),
+		"right": Join(s, r, Unit(s, 2.0)),
+	} {
+		if u.Len() != 2 {
+			t.Fatalf("%s unit join: Len = %d, want 2", name, u.Len())
+		}
+		if u.Value(0) != 1.0 || u.Value(1) != 0.5 {
+			t.Fatalf("%s unit join values = %v, %v; want 1, 0.5", name, u.Value(0), u.Value(1))
+		}
+	}
+}
+
+func ExampleJoin() {
+	s := semiring.Bool{}
+	r := NewBuilder[bool](s, []int{0, 1})
+	r.AddOne(1, 1)
+	r.AddOne(2, 1)
+	q := NewBuilder[bool](s, []int{0, 2})
+	q.AddOne(1, 5)
+	j := Join(s, r.Build(), q.Build())
+	fmt.Println(j.Len(), j.Tuple(0))
+	// Output: 1 [1 1 5]
+}

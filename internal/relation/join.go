@@ -1,0 +1,383 @@
+package relation
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/keys"
+	"repro/internal/semiring"
+)
+
+// Join and Semijoin strategy selection. Relations keep their tuples
+// sorted lexicographically, so whenever the shared variables form a
+// schema prefix of both operands — always the case for the star
+// protocol's same-key reductions, where schemas are sorted and the
+// shared variables are the smallest ids — both operands are already
+// sorted by the join key and a galloping sorted-merge needs no index at
+// all. Otherwise a hash join on packed uint64 keys (≤ 2 shared columns)
+// or big-endian string keys (wider, off the hot path) is used.
+
+// compareShared lexicographically compares the first p columns of two
+// rows.
+func compareShared(ra, rb []int32, p int) int {
+	for k := 0; k < p; k++ {
+		if ra[k] != rb[k] {
+			if ra[k] < rb[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// gallopShared returns the first row index in [lo, n) whose leading p
+// columns compare ≥ key, by exponential probing followed by binary
+// search — O(log distance), the galloping scan of the sorted-merge join.
+func gallopShared(rows []int32, arity, n, lo int, key []int32, p int) int {
+	if lo >= n || compareShared(rows[lo*arity:], key, p) >= 0 {
+		return lo
+	}
+	// Invariant: rows[prev] < key; probe lo+1, lo+2, lo+4, ...
+	prev := lo
+	step := 1
+	next := lo + step
+	for next < n && compareShared(rows[next*arity:], key, p) < 0 {
+		prev = next
+		step *= 2
+		next = lo + step
+	}
+	if next > n {
+		next = n
+	}
+	lo, hi := prev+1, next
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if compareShared(rows[mid*arity:], key, p) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// colSrc locates an output column in one of the two join operands.
+type colSrc struct {
+	fromA bool
+	col   int
+}
+
+// outputSrcs precomputes, for each output column, which operand column
+// feeds it.
+func outputSrcs(outSchema, aSchema, bSchema []int) []colSrc {
+	srcs := make([]colSrc, len(outSchema))
+	for i, v := range outSchema {
+		if j, err := columnsOf(aSchema, []int{v}); err == nil {
+			srcs[i] = colSrc{true, j[0]}
+		} else {
+			j, _ := columnsOf(bSchema, []int{v})
+			srcs[i] = colSrc{false, j[0]}
+		}
+	}
+	return srcs
+}
+
+// isPrefixOf reports whether vs is a prefix of schema.
+func isPrefixOf(vs, schema []int) bool {
+	if len(vs) > len(schema) {
+		return false
+	}
+	for i, v := range vs {
+		if schema[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// restBefore reports whether every non-shared variable of aSchema
+// precedes every non-shared variable of bSchema (given len(shared)
+// leading shared columns in each). When it holds, the merge join's
+// generation order (shared key, a-row, b-row) is the output's
+// lexicographic order and the result needs no re-sort.
+func restBefore(aSchema, bSchema []int, p int) bool {
+	if p == len(aSchema) || p == len(bSchema) {
+		return true
+	}
+	return aSchema[len(aSchema)-1] < bSchema[p]
+}
+
+// Join returns the natural join a ⋈ b with annotations combined by ⊗
+// (Definition 3.4 lifted to the semiring). The output schema is the
+// sorted union of the input schemas.
+func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	if isPrefixOf(shared, a.schema) && isPrefixOf(shared, b.schema) {
+		p := len(shared)
+		if !restBefore(a.schema, b.schema, p) && restBefore(b.schema, a.schema, p) {
+			a, b = b, a // ⋈ is commutative; this orientation emits sorted output
+		}
+		return joinMerge(s, a, b, p)
+	}
+	return joinHash(s, a, b, shared)
+}
+
+// joinMerge is the sorted-merge join: both operands are sorted by their
+// shared-column prefix, so matching key groups are found by a galloping
+// two-pointer scan and crossed directly.
+func joinMerge[T any](s semiring.Semiring[T], a, b *Relation[T], p int) *Relation[T] {
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	srcs := outputSrcs(outSchema, a.schema, b.schema)
+	aAr, bAr := len(a.schema), len(b.schema)
+	na, nb := a.Len(), b.Len()
+	ordered := restBefore(a.schema, b.schema, p)
+
+	var out *Builder[T]
+	var rows []int32
+	var vals []T
+	if ordered {
+		cap := maxLen(na, nb)
+		rows = make([]int32, 0, cap*len(outSchema))
+		vals = make([]T, 0, cap)
+	} else {
+		out = NewBuilderHint(s, outSchema, maxLen(na, nb))
+	}
+	scratch := make([]int32, len(outSchema))
+
+	i, j := 0, 0
+	for i < na && j < nb {
+		ra := a.rows[i*aAr:]
+		rb := b.rows[j*bAr:]
+		c := compareShared(ra, rb, p)
+		if c < 0 {
+			i = gallopShared(a.rows, aAr, na, i+1, rb, p)
+			continue
+		}
+		if c > 0 {
+			j = gallopShared(b.rows, bAr, nb, j+1, ra, p)
+			continue
+		}
+		iEnd := i + 1
+		for iEnd < na && compareShared(a.rows[iEnd*aAr:], ra, p) == 0 {
+			iEnd++
+		}
+		jEnd := j + 1
+		for jEnd < nb && compareShared(b.rows[jEnd*bAr:], rb, p) == 0 {
+			jEnd++
+		}
+		for x := i; x < iEnd; x++ {
+			ta := a.Tuple(x)
+			for y := j; y < jEnd; y++ {
+				tb := b.Tuple(y)
+				v := s.Mul(a.vals[x], b.vals[y])
+				if s.IsZero(v) {
+					continue
+				}
+				for k, sc := range srcs {
+					if sc.fromA {
+						scratch[k] = ta[sc.col]
+					} else {
+						scratch[k] = tb[sc.col]
+					}
+				}
+				if ordered {
+					rows = append(rows, scratch...)
+					vals = append(vals, v)
+				} else {
+					out.AddRow(scratch, v)
+				}
+			}
+		}
+		i, j = iEnd, jEnd
+	}
+	if ordered {
+		return fromSorted(outSchema, rows, vals)
+	}
+	return out.Build()
+}
+
+// joinHash indexes b on the shared columns — packed uint64 keys for ≤ 2
+// shared columns, string keys beyond — and probes with a's tuples. The
+// per-key tuple lists are intrusive chains over one []int32, so the
+// index costs two allocations regardless of b's size.
+func joinHash[T any](s semiring.Semiring[T], a, b *Relation[T], shared []int) *Relation[T] {
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	srcs := outputSrcs(outSchema, a.schema, b.schema)
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	na, nb := a.Len(), b.Len()
+
+	out := NewBuilderHint(s, outSchema, maxLen(na, nb))
+	scratch := make([]int32, len(outSchema))
+	emit := func(x, y int) {
+		v := s.Mul(a.vals[x], b.vals[y])
+		if s.IsZero(v) {
+			return
+		}
+		ta, tb := a.Tuple(x), b.Tuple(y)
+		for k, sc := range srcs {
+			if sc.fromA {
+				scratch[k] = ta[sc.col]
+			} else {
+				scratch[k] = tb[sc.col]
+			}
+		}
+		out.AddRow(scratch, v)
+	}
+
+	if len(shared) <= keys.MaxPacked {
+		head := make(map[uint64]int32, nb)
+		next := make([]int32, nb)
+		for i := nb - 1; i >= 0; i-- {
+			k := keys.PackCols(b.Tuple(i), bCols)
+			if h, ok := head[k]; ok {
+				next[i] = h
+			} else {
+				next[i] = -1
+			}
+			head[k] = int32(i)
+		}
+		for i := 0; i < na; i++ {
+			if h, ok := head[keys.PackCols(a.Tuple(i), aCols)]; ok {
+				for j := h; j >= 0; j = next[j] {
+					emit(i, int(j))
+				}
+			}
+		}
+		return out.Build()
+	}
+
+	head := make(map[string]int32, nb)
+	next := make([]int32, nb)
+	for i := nb - 1; i >= 0; i-- {
+		k := keys.EncodeCols(b.Tuple(i), bCols)
+		if h, ok := head[k]; ok {
+			next[i] = h
+		} else {
+			next[i] = -1
+		}
+		head[k] = int32(i)
+	}
+	for i := 0; i < na; i++ {
+		if h, ok := head[keys.EncodeCols(a.Tuple(i), aCols)]; ok {
+			for j := h; j >= 0; j = next[j] {
+				emit(i, int(j))
+			}
+		}
+	}
+	return out.Build()
+}
+
+// Semijoin returns a ⋉ b (Definition 3.5 with set semantics on the
+// match): the tuples of a whose projection onto the shared variables
+// appears in b, annotations unchanged. This is the filtering primitive of
+// the star protocol (Algorithm 1); the value-combining variant used by
+// the general FAQ protocol is Join followed by Project.
+func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	if isPrefixOf(shared, a.schema) && isPrefixOf(shared, b.schema) {
+		return semijoinMerge(a, b, len(shared))
+	}
+	return semijoinHash(a, b, shared)
+}
+
+// semijoinMerge filters a against b with a galloping two-pointer scan on
+// the shared prefix; the output is a's row order, already sorted.
+func semijoinMerge[T any](a, b *Relation[T], p int) *Relation[T] {
+	aAr, bAr := len(a.schema), len(b.schema)
+	na, nb := a.Len(), b.Len()
+	rows := make([]int32, 0, len(a.rows))
+	vals := make([]T, 0, na)
+	i, j := 0, 0
+	for i < na && j < nb {
+		ra := a.rows[i*aAr:]
+		c := compareShared(ra, b.rows[j*bAr:], p)
+		if c < 0 {
+			i = gallopShared(a.rows, aAr, na, i+1, b.rows[j*bAr:], p)
+			continue
+		}
+		if c > 0 {
+			j = gallopShared(b.rows, bAr, nb, j+1, ra, p)
+			continue
+		}
+		rows = append(rows, a.Tuple(i)...)
+		vals = append(vals, a.vals[i])
+		i++
+	}
+	return fromSorted(a.schema, rows, vals)
+}
+
+func semijoinHash[T any](a, b *Relation[T], shared []int) *Relation[T] {
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	out := &Relation[T]{schema: a.schema}
+
+	if len(shared) <= keys.MaxPacked {
+		seen := make(map[uint64]struct{}, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			seen[keys.PackCols(b.Tuple(i), bCols)] = struct{}{}
+		}
+		for i := 0; i < a.Len(); i++ {
+			if _, ok := seen[keys.PackCols(a.Tuple(i), aCols)]; ok {
+				out.rows = append(out.rows, a.Tuple(i)...)
+				out.vals = append(out.vals, a.vals[i])
+			}
+		}
+		return out
+	}
+
+	seen := make(map[string]struct{}, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		seen[keys.EncodeCols(b.Tuple(i), bCols)] = struct{}{}
+	}
+	for i := 0; i < a.Len(); i++ {
+		if _, ok := seen[keys.EncodeCols(a.Tuple(i), aCols)]; ok {
+			out.rows = append(out.rows, a.Tuple(i)...)
+			out.vals = append(out.vals, a.vals[i])
+		}
+	}
+	return out
+}
+
+// joinNestedLoop is the O(|a|·|b|) reference implementation used by the
+// equivalence property tests: no index, no merge — just the definition.
+func joinNestedLoop[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	srcs := outputSrcs(outSchema, a.schema, b.schema)
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	out := NewBuilder(s, outSchema)
+	scratch := make([]int32, len(outSchema))
+	for i := 0; i < a.Len(); i++ {
+		ta := a.Tuple(i)
+		for j := 0; j < b.Len(); j++ {
+			tb := b.Tuple(j)
+			match := true
+			for k := range shared {
+				if ta[aCols[k]] != tb[bCols[k]] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for k, sc := range srcs {
+				if sc.fromA {
+					scratch[k] = ta[sc.col]
+				} else {
+					scratch[k] = tb[sc.col]
+				}
+			}
+			out.AddRow(scratch, s.Mul(a.vals[i], b.vals[j]))
+		}
+	}
+	return out.Build()
+}
+
+func maxLen(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

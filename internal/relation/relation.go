@@ -7,13 +7,34 @@
 // relations. Tuples are kept sorted lexicographically, so equal relations
 // have identical layouts and every computation in the repository is
 // deterministic.
+//
+// # Performance notes
+//
+// The kernel is columnar and allocation-light: tuples live in one flat
+// []int32 row buffer, and every operator exploits the sorted invariant
+// instead of re-deriving it through hash maps.
+//
+//   - Tuple identity on ≤ 2 columns uses order-preserving uint64 packed
+//     keys (internal/keys) — no string keys, no per-tuple allocation.
+//     Wider key sets fall back to raw-row comparison or string keys.
+//   - Join and Semijoin run a galloping sorted-merge whenever the shared
+//     variables are a schema prefix of both operands (always true for
+//     same-key star reductions); otherwise a packed-key hash join.
+//   - Project and EliminateVar detect when the group-by columns are a
+//     schema prefix (projections onto leading variables, elimination of
+//     the innermost variable) and reduce contiguous runs in one linear
+//     pass with no map and no re-sort.
+//   - Builder batches row growth, sorts by packed key for arity ≤ 2, and
+//     can be presized via NewBuilderHint.
 package relation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/hypergraph"
+	"repro/internal/keys"
 	"repro/internal/semiring"
 )
 
@@ -54,6 +75,12 @@ func (r *Relation[T]) String() string {
 	return fmt.Sprintf("Relation(schema=%v, n=%d)", r.schema, r.Len())
 }
 
+// fromSorted wraps pre-sorted, duplicate-free storage without copying.
+// Callers transfer ownership of rows and vals.
+func fromSorted[T any](schema []int, rows []int32, vals []T) *Relation[T] {
+	return &Relation[T]{schema: schema, rows: rows, vals: vals}
+}
+
 // Builder accumulates tuples and merges duplicates with the semiring's ⊕
 // at Build time, dropping zero-valued results (listing representation).
 type Builder[T any] struct {
@@ -68,6 +95,13 @@ type Builder[T any] struct {
 // are normalized to sorted variable order internally). Duplicate
 // variables in the schema are a programmer error and panic.
 func NewBuilder[T any](s semiring.Semiring[T], schema []int) *Builder[T] {
+	return NewBuilderHint(s, schema, 0)
+}
+
+// NewBuilderHint is NewBuilder with a tuple-capacity hint, so operators
+// that know their input cardinality (Project, Join) can presize the row
+// and value buffers and avoid growth reallocations.
+func NewBuilderHint[T any](s semiring.Semiring[T], schema []int, capacity int) *Builder[T] {
 	sorted := append([]int(nil), schema...)
 	sort.Ints(sorted)
 	for i := 1; i < len(sorted); i++ {
@@ -79,8 +113,17 @@ func NewBuilder[T any](s semiring.Semiring[T], schema []int) *Builder[T] {
 	for i, v := range schema {
 		perm[i] = sort.SearchInts(sorted, v)
 	}
-	return &Builder[T]{s: s, schema: sorted, perm: perm}
+	b := &Builder[T]{s: s, schema: sorted, perm: perm}
+	if capacity > 0 {
+		b.rows = make([]int32, 0, capacity*len(sorted))
+		b.vals = make([]T, 0, capacity)
+	}
+	return b
 }
+
+// Len returns the number of tuples added so far (before duplicate
+// merging).
+func (b *Builder[T]) Len() int { return len(b.vals) }
 
 // Add appends a tuple (given in the builder's original schema order) with
 // an annotation. Length mismatches panic.
@@ -88,9 +131,22 @@ func (b *Builder[T]) Add(tuple []int, val T) {
 	if len(tuple) != len(b.schema) {
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(tuple), len(b.schema)))
 	}
-	row := make([]int32, len(tuple))
+	n := len(b.rows)
+	b.rows = slices.Grow(b.rows, len(tuple))[:n+len(tuple)]
+	row := b.rows[n:]
 	for i, x := range tuple {
 		row[b.perm[i]] = int32(x)
+	}
+	b.vals = append(b.vals, val)
+}
+
+// AddRow appends a tuple already laid out in sorted-schema column order
+// (the order Relation.Tuple uses). The row is copied. This is the
+// allocation-free entry point for operators transferring rows between
+// relations.
+func (b *Builder[T]) AddRow(row []int32, val T) {
+	if len(row) != len(b.schema) {
+		panic(fmt.Sprintf("relation: row arity %d != schema arity %d", len(row), len(b.schema)))
 	}
 	b.rows = append(b.rows, row...)
 	b.vals = append(b.vals, val)
@@ -105,39 +161,125 @@ func (b *Builder[T]) AddOne(tuple ...int) { b.Add(tuple, b.s.One()) }
 func (b *Builder[T]) Build() *Relation[T] {
 	a := len(b.schema)
 	n := len(b.vals)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if n == 0 {
+		return &Relation[T]{schema: b.schema}
 	}
-	cmp := func(i, j int) int {
-		ri, rj := b.rows[i*a:(i+1)*a], b.rows[j*a:(j+1)*a]
+	if a == 0 {
+		v := b.vals[0]
+		for _, w := range b.vals[1:] {
+			v = b.s.Add(v, w)
+		}
+		if b.s.IsZero(v) {
+			return &Relation[T]{schema: b.schema}
+		}
+		return &Relation[T]{schema: b.schema, vals: []T{v}}
+	}
+	if a <= keys.MaxPacked {
+		return b.buildPacked()
+	}
+	return b.buildGeneric()
+}
+
+// packedRow pairs a tuple's order-preserving uint64 key with its input
+// index; sorting by (key, idx) sorts tuples lexicographically while
+// keeping the duplicate-merge order deterministic.
+type packedRow struct {
+	key uint64
+	idx int32
+}
+
+func (b *Builder[T]) buildPacked() *Relation[T] {
+	a := len(b.schema)
+	n := len(b.vals)
+	pr := make([]packedRow, n)
+	if a == 1 {
+		for i := 0; i < n; i++ {
+			pr[i] = packedRow{keys.Pack1(b.rows[i]), int32(i)}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			pr[i] = packedRow{keys.Pack2(b.rows[2*i], b.rows[2*i+1]), int32(i)}
+		}
+	}
+	slices.SortFunc(pr, func(p, q packedRow) int {
+		if p.key != q.key {
+			if p.key < q.key {
+				return -1
+			}
+			return 1
+		}
+		return int(p.idx) - int(q.idx)
+	})
+	rows := make([]int32, 0, n*a)
+	vals := make([]T, 0, n)
+	for i := 0; i < n; {
+		j := i + 1
+		v := b.vals[pr[i].idx]
+		for j < n && pr[j].key == pr[i].key {
+			v = b.s.Add(v, b.vals[pr[j].idx])
+			j++
+		}
+		if !b.s.IsZero(v) {
+			if a == 1 {
+				rows = append(rows, keys.Unpack1(pr[i].key))
+			} else {
+				x, y := keys.Unpack2(pr[i].key)
+				rows = append(rows, x, y)
+			}
+			vals = append(vals, v)
+		}
+		i = j
+	}
+	return fromSorted(b.schema, rows, vals)
+}
+
+func (b *Builder[T]) buildGeneric() *Relation[T] {
+	a := len(b.schema)
+	n := len(b.vals)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	all := b.rows
+	slices.SortFunc(idx, func(x, y int32) int {
+		rx := all[int(x)*a : int(x)*a+a]
+		ry := all[int(y)*a : int(y)*a+a]
 		for k := 0; k < a; k++ {
-			if ri[k] != rj[k] {
-				if ri[k] < rj[k] {
+			if rx[k] != ry[k] {
+				if rx[k] < ry[k] {
 					return -1
 				}
 				return 1
 			}
 		}
-		return 0
+		return int(x) - int(y)
+	})
+	rowEq := func(x, y int32) bool {
+		rx := all[int(x)*a : int(x)*a+a]
+		ry := all[int(y)*a : int(y)*a+a]
+		for k := 0; k < a; k++ {
+			if rx[k] != ry[k] {
+				return false
+			}
+		}
+		return true
 	}
-	sort.Slice(idx, func(x, y int) bool { return cmp(idx[x], idx[y]) < 0 })
-
-	out := &Relation[T]{schema: b.schema}
+	rows := make([]int32, 0, n*a)
+	vals := make([]T, 0, n)
 	for i := 0; i < n; {
 		j := i + 1
 		v := b.vals[idx[i]]
-		for j < n && cmp(idx[i], idx[j]) == 0 {
+		for j < n && rowEq(idx[i], idx[j]) {
 			v = b.s.Add(v, b.vals[idx[j]])
 			j++
 		}
 		if !b.s.IsZero(v) {
-			out.rows = append(out.rows, b.rows[idx[i]*a:(idx[i]+1)*a]...)
-			out.vals = append(out.vals, v)
+			rows = append(rows, all[int(idx[i])*a:int(idx[i])*a+a]...)
+			vals = append(vals, v)
 		}
 		i = j
 	}
-	return out
+	return fromSorted(b.schema, rows, vals)
 }
 
 // Empty returns the empty relation over a schema.
@@ -186,14 +328,16 @@ func columnsOf(schema, vs []int) ([]int, error) {
 	return cols, nil
 }
 
-// key encodes the given columns of a tuple as a map key.
-func key(tuple []int32, cols []int) string {
-	buf := make([]byte, 0, len(cols)*4)
-	for _, c := range cols {
-		x := uint32(tuple[c])
-		buf = append(buf, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+// isIdentPrefix reports whether cols selects the leading columns in
+// order — the condition under which sorted tuples group contiguously on
+// those columns.
+func isIdentPrefix(cols []int) bool {
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
 	}
-	return string(buf)
+	return true
 }
 
 // Project returns π_vs(r) with duplicate projected tuples merged by ⊕
@@ -206,86 +350,39 @@ func Project[T any](s semiring.Semiring[T], r *Relation[T], vs []int) (*Relation
 	if err != nil {
 		return nil, err
 	}
-	b := NewBuilder(s, sorted)
-	tuple := make([]int, len(cols))
-	for i := 0; i < r.Len(); i++ {
+	a := len(r.schema)
+	p := len(cols)
+	n := r.Len()
+	if isIdentPrefix(cols) {
+		// Keeping a schema prefix: groups are contiguous runs of the
+		// sorted rows — one linear merge, already in output order.
+		rows := make([]int32, 0, n*p)
+		vals := make([]T, 0, n)
+		for i := 0; i < n; {
+			j := i + 1
+			v := r.vals[i]
+			for j < n && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
+				v = s.Add(v, r.vals[j])
+				j++
+			}
+			if !s.IsZero(v) {
+				rows = append(rows, r.rows[i*a:i*a+p]...)
+				vals = append(vals, v)
+			}
+			i = j
+		}
+		return fromSorted(sorted, rows, vals), nil
+	}
+	b := NewBuilderHint(s, sorted, n)
+	scratch := make([]int32, p)
+	for i := 0; i < n; i++ {
 		t := r.Tuple(i)
 		for k, c := range cols {
-			tuple[k] = int(t[c])
+			scratch[k] = t[c]
 		}
-		b.Add(tuple, r.vals[i])
+		b.AddRow(scratch, r.vals[i])
 	}
 	return b.Build(), nil
-}
-
-// Join returns the natural join a ⋈ b with annotations combined by ⊗
-// (Definition 3.4 lifted to the semiring). The output schema is the
-// sorted union of the input schemas.
-func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
-	shared := hypergraph.IntersectSorted(a.schema, b.schema)
-	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
-	aCols, _ := columnsOf(a.schema, shared)
-	bCols, _ := columnsOf(b.schema, shared)
-	// Index b by shared-variable key.
-	bIdx := make(map[string][]int)
-	for i := 0; i < b.Len(); i++ {
-		k := key(b.Tuple(i), bCols)
-		bIdx[k] = append(bIdx[k], i)
-	}
-	// Precompute output column sources: from a, or from b.
-	type src struct {
-		fromA bool
-		col   int
-	}
-	srcs := make([]src, len(outSchema))
-	for i, v := range outSchema {
-		if j := sort.SearchInts(a.schema, v); j < len(a.schema) && a.schema[j] == v {
-			srcs[i] = src{true, j}
-		} else {
-			j := sort.SearchInts(b.schema, v)
-			srcs[i] = src{false, j}
-		}
-	}
-	out := NewBuilder(s, outSchema)
-	tuple := make([]int, len(outSchema))
-	for i := 0; i < a.Len(); i++ {
-		ta := a.Tuple(i)
-		for _, j := range bIdx[key(ta, aCols)] {
-			tb := b.Tuple(j)
-			for k, sc := range srcs {
-				if sc.fromA {
-					tuple[k] = int(ta[sc.col])
-				} else {
-					tuple[k] = int(tb[sc.col])
-				}
-			}
-			out.Add(tuple, s.Mul(a.vals[i], b.vals[j]))
-		}
-	}
-	return out.Build()
-}
-
-// Semijoin returns a ⋉ b (Definition 3.5 with set semantics on the
-// match): the tuples of a whose projection onto the shared variables
-// appears in b, annotations unchanged. This is the filtering primitive of
-// the star protocol (Algorithm 1); the value-combining variant used by
-// the general FAQ protocol is Join followed by Project.
-func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
-	shared := hypergraph.IntersectSorted(a.schema, b.schema)
-	aCols, _ := columnsOf(a.schema, shared)
-	bCols, _ := columnsOf(b.schema, shared)
-	seen := make(map[string]bool)
-	for i := 0; i < b.Len(); i++ {
-		seen[key(b.Tuple(i), bCols)] = true
-	}
-	out := &Relation[T]{schema: a.schema}
-	for i := 0; i < a.Len(); i++ {
-		if seen[key(a.Tuple(i), aCols)] {
-			out.rows = append(out.rows, a.Tuple(i)...)
-			out.vals = append(out.vals, a.vals[i])
-		}
-	}
-	return out
 }
 
 // EliminateVar aggregates variable v out of r with the given per-variable
@@ -295,28 +392,110 @@ func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 // tuple per domain value — domSize values — mirroring Corollary G.2's
 // push-down over listing representations.
 func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semiring.Op[T], domSize int) (*Relation[T], error) {
-	if _, err := columnsOf(r.schema, []int{v}); err != nil {
+	vcols, err := columnsOf(r.schema, []int{v})
+	if err != nil {
 		return nil, err
 	}
+	vcol := vcols[0]
 	rest := hypergraph.DiffSorted(r.schema, []int{v})
-	restCols, _ := columnsOf(r.schema, rest)
+	a := len(r.schema)
+	p := len(rest)
+	n := r.Len()
 
+	if vcol == a-1 {
+		// Eliminating the innermost variable: the remaining columns are a
+		// schema prefix, so groups are contiguous — no map, no re-sort.
+		rows := make([]int32, 0, n*p)
+		vals := make([]T, 0, n)
+		for i := 0; i < n; {
+			j := i + 1
+			acc := op.Combine(op.Identity(), r.vals[i])
+			for j < n && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
+				acc = op.Combine(acc, r.vals[j])
+				j++
+			}
+			if !(op.IsProduct() && j-i < domSize) && !s.IsZero(acc) {
+				rows = append(rows, r.rows[i*a:i*a+p]...)
+				vals = append(vals, acc)
+			}
+			i = j
+		}
+		return fromSorted(rest, rows, vals), nil
+	}
+
+	restCols, _ := columnsOf(r.schema, rest)
+	if p <= keys.MaxPacked {
+		// Group on a packed key; packed order is lexicographic order, so
+		// sorting the groups by key yields the output layout directly.
+		groupOf := make(map[uint64]int32, n)
+		var gkeys []uint64
+		var gvals []T
+		var gcounts []int32
+		for i := 0; i < n; i++ {
+			k := keys.PackCols(r.Tuple(i), restCols)
+			g, ok := groupOf[k]
+			if !ok {
+				g = int32(len(gkeys))
+				groupOf[k] = g
+				gkeys = append(gkeys, k)
+				gvals = append(gvals, op.Identity())
+				gcounts = append(gcounts, 0)
+			}
+			gvals[g] = op.Combine(gvals[g], r.vals[i])
+			gcounts[g]++
+		}
+		order := make([]int32, len(gkeys))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		slices.SortFunc(order, func(x, y int32) int {
+			if gkeys[x] != gkeys[y] {
+				if gkeys[x] < gkeys[y] {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		rows := make([]int32, 0, len(gkeys)*p)
+		vals := make([]T, 0, len(gkeys))
+		for _, g := range order {
+			if op.IsProduct() && int(gcounts[g]) < domSize {
+				continue // an unlisted zero annihilates the product aggregate
+			}
+			if s.IsZero(gvals[g]) {
+				continue
+			}
+			switch p {
+			case 1:
+				rows = append(rows, keys.Unpack1(gkeys[g]))
+			case 2:
+				x, y := keys.Unpack2(gkeys[g])
+				rows = append(rows, x, y)
+			}
+			vals = append(vals, gvals[g])
+		}
+		return fromSorted(rest, rows, vals), nil
+	}
+
+	// Arbitrary-arity fallback (> MaxPacked remaining columns): string
+	// keys off the hot path.
 	type group struct {
 		val   T
 		count int
 	}
-	groups := make(map[string]*group)
+	groups := make(map[string]*group, n)
 	var order []string
-	reps := make(map[string][]int32)
-	for i := 0; i < r.Len(); i++ {
+	reps := make(map[string][]int32, n)
+	for i := 0; i < n; i++ {
 		t := r.Tuple(i)
-		k := key(t, restCols)
+		k := keys.EncodeCols(t, restCols)
 		g, ok := groups[k]
 		if !ok {
 			g = &group{val: op.Identity()}
 			groups[k] = g
 			order = append(order, k)
-			rep := make([]int32, len(restCols))
+			rep := make([]int32, p)
 			for j, c := range restCols {
 				rep[j] = t[c]
 			}
@@ -325,20 +504,16 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 		g.val = op.Combine(g.val, r.vals[i])
 		g.count++
 	}
-	b := NewBuilder(s, rest)
-	tuple := make([]int, len(rest))
+	b := NewBuilderHint(s, rest, len(order))
 	for _, k := range order {
 		g := groups[k]
 		if op.IsProduct() && g.count < domSize {
-			continue // an unlisted zero annihilates the product aggregate
+			continue
 		}
 		if s.IsZero(g.val) {
 			continue
 		}
-		for j, x := range reps[k] {
-			tuple[j] = int(x)
-		}
-		b.Add(tuple, g.val)
+		b.AddRow(reps[k], g.val)
 	}
 	return b.Build(), nil
 }
@@ -354,13 +529,10 @@ func Equal[T any](s semiring.Semiring[T], a, b *Relation[T]) bool {
 			return false
 		}
 	}
-	for i := 0; i < a.Len(); i++ {
-		ta, tb := a.Tuple(i), b.Tuple(i)
-		for k := range ta {
-			if ta[k] != tb[k] {
-				return false
-			}
-		}
+	if !slices.Equal(a.rows, b.rows) {
+		return false
+	}
+	for i := range a.vals {
 		if !s.Equal(a.vals[i], b.vals[i]) {
 			return false
 		}
@@ -380,6 +552,18 @@ func Rename[T any](s semiring.Semiring[T], r *Relation[T], m map[int]int) (*Rela
 			newSchema[i] = v
 		}
 	}
+	ascending := true
+	for i := 1; i < len(newSchema); i++ {
+		if newSchema[i] <= newSchema[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		// Order-preserving rename: the column layout and tuple order are
+		// unchanged, so the result shares the immutable storage.
+		return fromSorted(newSchema, r.rows, r.vals), nil
+	}
 	seen := make(map[int]bool, len(newSchema))
 	for _, v := range newSchema {
 		if seen[v] {
@@ -387,7 +571,7 @@ func Rename[T any](s semiring.Semiring[T], r *Relation[T], m map[int]int) (*Rela
 		}
 		seen[v] = true
 	}
-	b := NewBuilder(s, newSchema)
+	b := NewBuilderHint(s, newSchema, r.Len())
 	tuple := make([]int, len(newSchema))
 	for i := 0; i < r.Len(); i++ {
 		t := r.Tuple(i)
