@@ -3,16 +3,21 @@
 #   make build  — compile every package
 #   make vet    — static analysis
 #   make test   — full test suite (tier-1 gate: build + test green)
+#   make race   — full test suite under the race detector (the parallel
+#                 exec paths must stay race-clean)
 #   make check  — build + vet + test
 #   make bench  — relation-kernel micro-benchmarks → BENCH_relation.json
 #                 (test2json stream of `go test -bench -benchmem`,
 #                 the trajectory artifact later perf PRs diff against)
+#   make bench-parallel — exec-layer scaling curves → BENCH_parallel.json
+#                 (faqbench -parallel: wall clock + simulated makespan
+#                 per worker count, answers verified bit-identical)
 #   make bench-all — every benchmark in the repo (paper tables + kernel)
 
 GO        ?= go
 BENCHTIME ?= 0.5s
 
-.PHONY: build test vet check bench bench-all fuzz
+.PHONY: build test vet race check bench bench-parallel bench-all fuzz
 
 build:
 	$(GO) build ./...
@@ -23,12 +28,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+race:
+	$(GO) test -race ./...
+
 check: build vet test
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json \
 		./internal/relation/ > BENCH_relation.json
 	@echo "wrote BENCH_relation.json"
+
+bench-parallel:
+	$(GO) run ./cmd/faqbench -parallel
 
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) ./...

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	faqbench [experiment ...]
+//	faqbench -parallel [out.json]
 //
 // With no arguments every experiment runs. Available experiment ids:
 // widths, table1, examples, example24, setint, taumcf, mcm, entropy,
 // shannon, mpc, pgm.
+//
+// -parallel instead benchmarks the exec-layer parallel GHD engine on a
+// multi-subtree workload at n = 1e4 and 1e5, sweeping 1/2/4/8 workers,
+// and writes the speedup-vs-workers curves to BENCH_parallel.json (or
+// the given path). See parallel.go for the methodology.
 package main
 
 import (
@@ -25,6 +31,13 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "-parallel" {
+		out := "BENCH_parallel.json"
+		if len(args) > 1 {
+			out = args[1]
+		}
+		return runParallel(out)
+	}
 	registry := map[string]func() (*experiments.Table, error){
 		"widths":    experiments.WidthTable,
 		"table1":    func() (*experiments.Table, error) { return experiments.Table1(128) },

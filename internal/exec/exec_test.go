@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// chainParent builds a path v0 <- v1 <- ... (each node's parent is the
+// previous one, root 0), i.e. node n-1 is the single leaf.
+func chainParent(n int) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i - 1
+	}
+	return parent
+}
+
+// starParent builds a root with n-1 leaf children.
+func starParent(n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = 0
+	}
+	return parent
+}
+
+func TestForestRunsChildrenBeforeParents(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for name, parent := range map[string][]int{
+			"chain": chainParent(32),
+			"star":  starParent(32),
+			"mixed": {-1, 0, 0, 1, 1, 2, 2, 5, 5, 5, -1, 10, 10},
+		} {
+			p := New(workers)
+			var done [64]atomic.Bool
+			err := p.Forest(parent, func(v int) error {
+				for c, pa := range parent {
+					if pa == v && !done[c].Load() {
+						return fmt.Errorf("node %d ran before child %d", v, c)
+					}
+				}
+				done[v].Store(true)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+			for v := range parent {
+				if !done[v].Load() {
+					t.Fatalf("workers=%d %s: node %d never ran", workers, name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForestErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		parent := chainParent(100) // 99 is the leaf; tasks run leaf-to-root
+		var ran atomic.Int32
+		err := p.Forest(parent, func(v int) error {
+			ran.Add(1)
+			if v == 90 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// Nodes above the failure (89..0) must not have been dispatched.
+		if got := ran.Load(); got > 10+int32(workers) {
+			t.Fatalf("workers=%d: %d tasks ran after failure, want ≈10", workers, got)
+		}
+	}
+}
+
+func TestMapErrLowestIndexError(t *testing.T) {
+	p := New(1)
+	err := p.MapErr(10, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("err-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "err-3" {
+		t.Fatalf("err = %v, want err-3", err)
+	}
+	var sum atomic.Int64
+	if err := New(4).MapErr(100, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		p := New(workers)
+		var hit [257]atomic.Int32
+		p.Map(257, func(i int) { hit[i].Add(1) })
+		for i := range hit {
+			if hit[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hit[i].Load())
+			}
+		}
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(7)
+	defer SetWorkers(prev)
+	if prev != 0 {
+		t.Fatalf("initial raw setting = %d, want 0 (tracking GOMAXPROCS)", prev)
+	}
+	if Workers() != 7 {
+		t.Fatalf("Workers = %d, want 7", Workers())
+	}
+	if got := SetWorkers(0); got != 7 {
+		t.Fatalf("SetWorkers returned %d, want 7", got)
+	}
+	if Workers() < 1 {
+		t.Fatalf("default Workers = %d, want ≥ 1", Workers())
+	}
+	// Restoring the returned raw value must re-enter tracking mode, not
+	// pin a resolved snapshot.
+	inner := SetWorkers(5)
+	SetWorkers(inner)
+	if got := SetWorkers(0); got != 0 {
+		t.Fatalf("raw setting after round-trip = %d, want 0", got)
+	}
+}
+
+func TestMakespanStar(t *testing.T) {
+	// Root + 8 equal leaves of cost 10, root cost 5.
+	parent := starParent(9)
+	cost := make([]int64, 9)
+	cost[0] = 5
+	for i := 1; i < 9; i++ {
+		cost[i] = 10
+	}
+	if got := Makespan(parent, cost, 1); got != 85 {
+		t.Fatalf("1 worker: makespan = %d, want 85 (sequential total)", got)
+	}
+	if got := Makespan(parent, cost, 8); got != 15 {
+		t.Fatalf("8 workers: makespan = %d, want 15 (one leaf wave + root)", got)
+	}
+	if got := Makespan(parent, cost, 4); got != 25 {
+		t.Fatalf("4 workers: makespan = %d, want 25 (two leaf waves + root)", got)
+	}
+	// The chain admits no parallelism: span == work at any width.
+	chain := chainParent(5)
+	cc := []int64{1, 2, 3, 4, 5}
+	if s1, s8 := Makespan(chain, cc, 1), Makespan(chain, cc, 8); s1 != 15 || s8 != 15 {
+		t.Fatalf("chain makespans = %d, %d; want 15, 15", s1, s8)
+	}
+}
+
+func TestMakespanMatchesTotalSequential(t *testing.T) {
+	parent := []int{-1, 0, 0, 1, 1, 2, 2}
+	cost := []int64{3, 1, 4, 1, 5, 9, 2}
+	if got, want := Makespan(parent, cost, 1), TotalCost(cost); got != want {
+		t.Fatalf("1-worker makespan %d != total work %d", got, want)
+	}
+}

@@ -1,12 +1,22 @@
 package faq
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/ghd"
 	"repro/internal/hypergraph"
 	"repro/internal/relation"
 )
+
+// ErrFreeOutsideRoot is the sentinel for the paper's free-variable
+// restriction (F ⊆ V(C(H)), Appendix G.5): no bag of the decomposition
+// covers all free variables, so the GHD pass cannot deliver the
+// marginal at a root. It is the ONLY condition under which callers
+// should fall back to the exponential BruteForce; every other solver
+// error is a real failure and must propagate.
+var ErrFreeOutsideRoot = errors.New("faq: free variables not contained in any bag (paper requires F ⊆ V(C(H)))")
 
 // AggregateOut eliminates, innermost (largest id) first, every schema
 // variable of r for which keep reports false, applying each variable's
@@ -89,19 +99,40 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 	if covers(g.Root) {
 		return g, nil
 	}
+	// y(ReRoot(v)) without materializing the re-root: re-rooting only
+	// redirects edges, so a node is internal iff its (undirected) degree
+	// is ≥ 2, plus the new root itself when it was a leaf. One degree
+	// pass replaces NumNodes() tree copies.
+	n := g.NumNodes()
+	deg := make([]int, n)
+	for v, p := range g.Parent {
+		if p >= 0 {
+			deg[v]++
+			deg[p]++
+		}
+	}
+	base := 0
+	for _, d := range deg {
+		if d >= 2 {
+			base++
+		}
+	}
 	best := -1
 	bestY := 0
-	for v := 0; v < g.NumNodes(); v++ {
+	for v := 0; v < n; v++ {
 		if !covers(v) {
 			continue
 		}
-		cand := g.ReRoot(v)
-		if y := cand.InternalNodes(); best == -1 || y < bestY {
+		y := base
+		if deg[v] == 1 {
+			y++ // a leaf promoted to root becomes internal
+		}
+		if best == -1 || y < bestY {
 			best, bestY = v, y
 		}
 	}
 	if best == -1 {
-		return nil, fmt.Errorf("faq: no GHD bag covers free variables %v (paper requires F ⊆ V(C(H)))", free)
+		return nil, fmt.Errorf("faq: no GHD bag covers free variables %v: %w", free, ErrFreeOutsideRoot)
 	}
 	return g.ReRoot(best), nil
 }
@@ -109,14 +140,35 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 // SolveOnGHD is Solve with a caller-chosen decomposition (used by the
 // distributed protocols, which must run on the same tree they schedule
 // communication for).
+//
+// Execution is parallel across independent subtrees: the bottom-up pass
+// dispatches sibling subtrees onto the exec default pool and joins each
+// node only once its children's messages resolved (exec.Pool.Forest
+// provides the child-completion happens-before edge). Per-node work —
+// the child-message joins in fixed child order, then the innermost-first
+// aggregation — is unchanged from the sequential pass, so the result is
+// bit-identical at any worker count.
 func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
+	rel, _, err := solveOnGHD(q, g, false)
+	return rel, err
+}
+
+// SolveOnGHDTimed is SolveOnGHD, additionally returning the wall-clock
+// cost of every node task of the bottom-up pass (indexed by GHD node).
+// The cost vector feeds exec.Makespan's schedule replay — the
+// hardware-independent speedup accounting of `faqbench -parallel`.
+func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
+	return solveOnGHD(q, g, true)
+}
+
+func solveOnGHD[T any](q *Query[T], g *ghd.GHD, timed bool) (*relation.Relation[T], []int64, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rootBag := g.Bags[g.Root]
 	for _, v := range q.Free {
 		if !hypergraph.ContainsSorted(rootBag, v) {
-			return nil, fmt.Errorf("faq: free variable %d outside root bag %v (paper requires F ⊆ V(C(H)))", v, rootBag)
+			return nil, nil, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
 		}
 	}
 
@@ -141,7 +193,7 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 
 	msgs := make([]*relation.Relation[T], g.NumNodes())
 	ch := g.Children()
-	for _, v := range g.PostOrder() {
+	task := func(v int) error {
 		cur := nodeRel[v]
 		if cur == nil {
 			cur = relation.Unit(q.S, q.S.One())
@@ -162,11 +214,22 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 			return free[x] || (!atRoot && hypergraph.ContainsSorted(parentBag, x))
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		msgs[v] = cur
+		return nil
 	}
-	return msgs[g.Root], nil
+	var costs []int64
+	var err error
+	if timed {
+		costs, err = exec.Default().ForestTimed(g.Parent, task)
+	} else {
+		err = exec.Default().Forest(g.Parent, task)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return msgs[g.Root], costs, nil
 }
 
 // BCQValue extracts the Boolean answer of a BCQ result (a scalar

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/faq"
 	"repro/internal/flow"
 	"repro/internal/ghd"
@@ -149,14 +150,24 @@ func (r *runner[T]) childMessage(c, parent int) (*relation.Relation[T], error) {
 func (r *runner[T]) starReduce(v int, children []int, target int) error {
 	q := r.s.Q
 	start := r.finish[v]
-	msgs := make(map[int]*relation.Relation[T], len(children))
-	msgOwner := make(map[int]int, len(children))
-	for _, c := range children {
-		m, err := r.childMessage(c, v)
+	// Child messages are pure local reductions (no ledger bookings), so
+	// they fan out across the exec pool; every transmission below stays
+	// on the sequential schedule, keeping measured costs byte-identical.
+	msgList := make([]*relation.Relation[T], len(children))
+	if err := exec.Default().MapErr(len(children), func(i int) error {
+		m, err := r.childMessage(children[i], v)
 		if err != nil {
 			return err
 		}
-		msgs[c] = m
+		msgList[i] = m
+		return nil
+	}); err != nil {
+		return err
+	}
+	msgs := make(map[int]*relation.Relation[T], len(children))
+	msgOwner := make(map[int]int, len(children))
+	for i, c := range children {
+		msgs[c] = msgList[i]
 		msgOwner[c] = r.owner[c]
 		if r.finish[c] > start {
 			start = r.finish[c]
@@ -250,7 +261,10 @@ func fastWeight[K cmp.Ordered, T any](r *runner[T], center *relation.Relation[T]
 	if err != nil {
 		return nil, 0, err
 	}
-	keyCols := columnsOf(center.Schema(), w)
+	keyCols, err := columnsOf(center.Schema(), w)
+	if err != nil {
+		return nil, 0, err
+	}
 	return weightCenter(r.s.Q, center, conv, func(i int, t []int32) K {
 		return cod.encode(t, keyCols)
 	}), done, nil
@@ -336,7 +350,10 @@ func generalStar[T any](r *runner[T], v int, children []int, msgs map[int]*relat
 	idxBits := clampBits(keys.Bits(maxInt(center.Len(), 2)-1)+r.s.ValueBits(), r.s.Bits())
 	playerMaps := make(map[int]map[uint64]T)
 	for _, c := range children {
-		cols := columnsOf(center.Schema(), msgs[c].Schema())
+		cols, err := columnsOf(center.Schema(), msgs[c].Schema())
+		if err != nil {
+			return nil, 0, err
+		}
 		vec := make(map[uint64]T, center.Len())
 		if len(cols) <= keys.MaxPacked {
 			lookup := relationToMap(msgs[c], u64Codec(len(cols)))
@@ -448,6 +465,13 @@ func (r *runner[T]) corePhase(root int, children []int) error {
 		}
 		bits := r.rel[c].Len() * r.s.TupleBits(r.rel[c].Arity())
 		if bits == 0 {
+			d, err := notifyEmpty(r.net, r.s.G, src, out, r.finish[c])
+			if err != nil {
+				return err
+			}
+			if d > r.finish[c] {
+				r.finish[c] = d
+			}
 			continue
 		}
 		res, err := flow.MaxFlow(r.s.G, src, out)
@@ -558,15 +582,20 @@ func intersectMaps[K cmp.Ordered, T any](q *faq.Query[T], a, b map[K]T) map[K]T 
 	return out
 }
 
-// columnsOf maps variables vs to their column indices in schema (vs must
-// be a subset; GHD invariants guarantee it here).
-func columnsOf(schema, vs []int) []int {
+// columnsOf maps variables vs to their column indices in schema. GHD
+// invariants normally guarantee vs ⊆ schema, but that is verified rather
+// than trusted: an unverified sort.SearchInts miss would silently yield
+// a wrong or out-of-range column and corrupt the converge-cast keys.
+func columnsOf(schema, vs []int) ([]int, error) {
 	cols := make([]int, len(vs))
 	for i, v := range vs {
 		j := sort.SearchInts(schema, v)
+		if j >= len(schema) || schema[j] != v {
+			return nil, fmt.Errorf("protocol: variable %d not in schema %v", v, schema)
+		}
 		cols[i] = j
 	}
-	return cols
+	return cols, nil
 }
 
 func clampBits(bits, cap int) int {

@@ -23,6 +23,7 @@ import (
 	"math/bits"
 
 	"repro/internal/faq"
+	"repro/internal/netsim"
 	"repro/internal/topology"
 )
 
@@ -110,6 +111,20 @@ type Report struct {
 
 func (r Report) String() string {
 	return fmt.Sprintf("%s: %d rounds, %d bits", r.Protocol, r.Rounds, r.Bits)
+}
+
+// notifyEmpty books the 1-bit "this relation is empty" notification from
+// src to dst, starting no earlier than the given round, and returns the
+// delivery round. An empty relation is never a free ride: the receiver
+// must learn it is empty before it can claim to have joined with it.
+// RunTrivial, corePhase, and finalize all charge exactly this cost so
+// Report values stay consistent across the three sites.
+func notifyEmpty(net *netsim.Network, g *topology.Graph, src, dst, start int) (int, error) {
+	path := g.ShortestPath(src, dst, nil)
+	if path == nil {
+		return 0, fmt.Errorf("protocol: no route from %d to %d", src, dst)
+	}
+	return net.RoutePath(path, start, 1)
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/faq"
@@ -31,6 +32,9 @@ func RunTrivial[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
 		f := s.Q.Factors[e]
 		bits := f.Len() * s.TupleBits(f.Arity())
 		if bits == 0 {
+			if _, err := notifyEmpty(net, s.G, src, s.Output, 0); err != nil {
+				return nil, rep, err
+			}
 			continue
 		}
 		res, err := flow.MaxFlow(s.G, src, s.Output)
@@ -57,11 +61,18 @@ func RunTrivial[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
 }
 
 // solveCentral picks the cheapest applicable centralized solver: the GHD
-// pass when the free-variable restriction allows it, brute force
-// otherwise.
+// pass, unless the paper's free-variable restriction rules it out — the
+// one condition (signalled by faq.ErrFreeOutsideRoot) under which the
+// exponential BruteForce is the intended fallback. Any other solver
+// error is a real failure and propagates instead of being silently
+// papered over by brute force.
 func solveCentral[T any](q *faq.Query[T]) (*relation.Relation[T], error) {
-	if ans, err := faq.Solve(q); err == nil {
+	ans, err := faq.Solve(q)
+	if err == nil {
 		return ans, nil
 	}
-	return faq.BruteForce(q)
+	if errors.Is(err, faq.ErrFreeOutsideRoot) {
+		return faq.BruteForce(q)
+	}
+	return nil, err
 }

@@ -118,6 +118,11 @@ func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 		}
 		return joinMerge(s, a, b, p)
 	}
+	if len(shared) >= 1 && len(shared) <= keys.MaxPacked {
+		if parts := parallelParts(a.Len() + b.Len()); parts > 1 {
+			return joinHashParallel(s, a, b, shared, parts)
+		}
+	}
 	return joinHash(s, a, b, shared)
 }
 

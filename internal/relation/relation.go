@@ -425,6 +425,9 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 
 	restCols, _ := columnsOf(r.schema, rest)
 	if p <= keys.MaxPacked {
+		if parts := parallelParts(n); parts > 1 && p >= 1 {
+			return eliminatePackedParallel(s, r, rest, restCols, op, domSize, parts), nil
+		}
 		// Group on a packed key; packed order is lexicographic order, so
 		// sorting the groups by key yields the output layout directly.
 		groupOf := make(map[uint64]int32, n)
@@ -448,15 +451,7 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 		for i := range order {
 			order[i] = int32(i)
 		}
-		slices.SortFunc(order, func(x, y int32) int {
-			if gkeys[x] != gkeys[y] {
-				if gkeys[x] < gkeys[y] {
-					return -1
-				}
-				return 1
-			}
-			return 0
-		})
+		sortByKey(order, gkeys)
 		rows := make([]int32, 0, len(gkeys)*p)
 		vals := make([]T, 0, len(gkeys))
 		for _, g := range order {
