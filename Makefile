@@ -10,14 +10,23 @@
 #                 (test2json stream of `go test -bench -benchmem`,
 #                 the trajectory artifact later perf PRs diff against)
 #   make bench-parallel — exec-layer scaling curves → BENCH_parallel.json
-#                 (faqbench -parallel: wall clock + simulated makespan
-#                 per worker count, answers verified bit-identical)
+#                 (faqbench -parallel: wall clock + simulated makespan,
+#                 atomic and intra-node-shaped, per worker count;
+#                 answers verified bit-identical)
 #   make bench-all — every benchmark in the repo (paper tables + kernel)
+#   make test-workers — re-run the parallel≡sequential equivalence suites
+#                 with the default pool pinned at 1, 2, and 8 workers
+#                 (FAQ_WORKERS, read by internal/exec at init), so every
+#                 public dispatch path is exercised at each width
 
 GO        ?= go
 BENCHTIME ?= 0.5s
+FUZZTIME  ?= 30s
 
-.PHONY: build test vet race check bench bench-parallel bench-all fuzz
+# The packages holding the parallel≡sequential equivalence suites.
+WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/
+
+.PHONY: build test vet race check bench bench-parallel bench-all fuzz test-workers
 
 build:
 	$(GO) build ./...
@@ -44,5 +53,11 @@ bench-parallel:
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
 
+test-workers:
+	FAQ_WORKERS=1 $(GO) test -count=1 $(WORKER_PKGS)
+	FAQ_WORKERS=2 $(GO) test -count=1 $(WORKER_PKGS)
+	FAQ_WORKERS=8 $(GO) test -count=1 $(WORKER_PKGS)
+
 fuzz:
-	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=30s
+	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzJoinMergeParallel -fuzztime=$(FUZZTIME)

@@ -1,21 +1,33 @@
 package main
 
 // The -parallel dimension: speedup-vs-workers curves for the exec-layer
-// GHD engine on a multi-subtree workload, written to BENCH_parallel.json.
+// GHD engine, written to BENCH_parallel.json. Two workloads:
 //
-// Two speedup notions are reported per worker count:
+//   - multi-subtree: 16 independent arm chains under one root — the
+//     embarrassingly parallel shape where inter-node (Forest)
+//     parallelism alone already approaches the work bound.
+//   - single-heavy-node: one arm chain, so the GHD critical path equals
+//     the total work and inter-node parallelism is worthless (atomic
+//     sim speedup pins at 1.0×). All speedup must come from intra-node
+//     partitioning — the range-split merge joins, partitioned hash
+//     joins, and parallel Builder sorts of internal/relation.
 //
-//   - sim_speedup: total work / exec.Makespan — a replay of the measured
-//     per-node task costs (from a sequential SolveOnGHDTimed run) under
-//     the scheduler's list-scheduling policy at that worker budget. Like
-//     internal/netsim's round ledger, this is simulated accounting:
-//     deterministic and independent of how many physical cores the
-//     measuring host happens to have. It is conservative in that it
-//     ignores the kernels' intra-node partitioning.
+// Three speedup notions are reported per worker count:
+//
+//   - sim_speedup: total work / exec.Makespan over the measured per-node
+//     costs — PR 2's atomic-node accounting, conservative in that it
+//     treats each node task as indivisible.
+//   - sim_speedup_shaped: total work / exec.MakespanShaped over the
+//     shapes measured by a sequential SolveOnGHDShaped run, which
+//     additionally records how much of each node's cost was spent in
+//     kernels that partition across workers (exec.Divisible regions) and
+//     replays that portion as parallel chunks. Like internal/netsim's
+//     round ledger, both are simulated accounting: deterministic and
+//     independent of how many physical cores the measuring host has.
 //   - wall_ns: measured wall clock on this host at that worker setting
 //     (exec.SetWorkers). On a single-core CI container these stay flat
-//     (or degrade slightly); on real multi-core hardware they track
-//     sim_speedup up to memory-bandwidth limits.
+//     (or degrade slightly); on real multi-core hardware they track the
+//     simulated curves up to memory-bandwidth limits.
 //
 // Every worker count's answer is checked bit-identical to the
 // sequential reference before any number is reported.
@@ -36,11 +48,13 @@ import (
 )
 
 type workerPoint struct {
-	Workers       int     `json:"workers"`
-	WallNS        int64   `json:"wall_ns"`
-	SimMakespanNS int64   `json:"sim_makespan_ns"`
-	SimSpeedup    float64 `json:"sim_speedup"`
-	BitIdentical  bool    `json:"bit_identical"`
+	Workers             int     `json:"workers"`
+	WallNS              int64   `json:"wall_ns"`
+	SimMakespanNS       int64   `json:"sim_makespan_ns"`
+	SimSpeedup          float64 `json:"sim_speedup"`
+	SimMakespanShapedNS int64   `json:"sim_makespan_shaped_ns"`
+	SimSpeedupShaped    float64 `json:"sim_speedup_shaped"`
+	BitIdentical        bool    `json:"bit_identical"`
 }
 
 type parallelBench struct {
@@ -49,9 +63,11 @@ type parallelBench struct {
 	Arms           int           `json:"arms"`
 	Nodes          int           `json:"nodes"`
 	TotalWorkNS    int64         `json:"total_work_ns"`
+	DivisibleNS    int64         `json:"divisible_ns"`
 	CriticalPathNS int64         `json:"critical_path_ns"`
 	Workers        []workerPoint `json:"workers"`
 	Speedup8W      float64       `json:"speedup_8w"`
+	Speedup8WSh    float64       `json:"speedup_8w_shaped"`
 }
 
 type parallelReport struct {
@@ -152,30 +168,40 @@ func identicalCount(a, b *relation.Relation[int64]) bool {
 	return relation.Equal(semiring.Count{}, a, b)
 }
 
-func runParallelBench(n, arms, reps int, workerCounts []int) (parallelBench, error) {
-	bench := parallelBench{Name: "multi-subtree", N: n, Arms: arms}
+func runParallelBench(name string, n, arms, reps int, workerCounts []int) (parallelBench, error) {
+	bench := parallelBench{Name: name, N: n, Arms: arms}
 	q, g, err := multiSubtreeQuery(n, arms)
 	if err != nil {
 		return bench, err
 	}
 	bench.Nodes = g.NumNodes()
 
-	// Sequential reference: answer + per-node costs (minimum-total rep).
+	// Sequential reference: answer + per-node shapes (minimum-total rep).
+	// Shapes carry the atomic cost vector (Work) plus the divisible
+	// portion each node spent in partitionable kernels.
 	prev := exec.SetWorkers(1)
 	defer exec.SetWorkers(prev)
 	var ref *relation.Relation[int64]
+	var shapes []exec.TaskShape
 	var costs []int64
 	for rep := 0; rep < reps; rep++ {
-		ans, c, err := faq.SolveOnGHDTimed(q, g)
+		ans, sh, err := faq.SolveOnGHDShaped(q, g)
 		if err != nil {
 			return bench, err
 		}
+		c := make([]int64, len(sh))
+		for v := range sh {
+			c[v] = sh[v].Work
+		}
 		if costs == nil || exec.TotalCost(c) < exec.TotalCost(costs) {
-			costs = c
+			costs, shapes = c, sh
 		}
 		ref = ans
 	}
 	bench.TotalWorkNS = exec.TotalCost(costs)
+	for _, sh := range shapes {
+		bench.DivisibleNS += sh.Div
+	}
 	bench.CriticalPathNS = exec.Makespan(g.Parent, costs, g.NumNodes())
 
 	for _, w := range workerCounts {
@@ -196,17 +222,26 @@ func runParallelBench(n, arms, reps int, workerCounts []int) (parallelBench, err
 				identical = false
 			}
 		}
+		if !identical {
+			// Fail before anything is written: a BENCH_parallel.json must
+			// never be regenerated from a run that broke bit-identity.
+			return bench, fmt.Errorf("%s n=%d workers=%d: answer not bit-identical to sequential", name, n, w)
+		}
 		mk := exec.Makespan(g.Parent, costs, w)
+		mkSh := exec.MakespanShaped(g.Parent, shapes, w)
 		pt := workerPoint{
-			Workers:       w,
-			WallNS:        best,
-			SimMakespanNS: mk,
-			SimSpeedup:    float64(bench.TotalWorkNS) / float64(mk),
-			BitIdentical:  identical,
+			Workers:             w,
+			WallNS:              best,
+			SimMakespanNS:       mk,
+			SimSpeedup:          float64(bench.TotalWorkNS) / float64(mk),
+			SimMakespanShapedNS: mkSh,
+			SimSpeedupShaped:    float64(bench.TotalWorkNS) / float64(mkSh),
+			BitIdentical:        identical,
 		}
 		bench.Workers = append(bench.Workers, pt)
 		if w == 8 {
 			bench.Speedup8W = pt.SimSpeedup
+			bench.Speedup8WSh = pt.SimSpeedupShaped
 		}
 	}
 	return bench, nil
@@ -218,14 +253,25 @@ func runParallel(outPath string) error {
 	rep := parallelReport{
 		HostCPUs:   runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Methodology: "sim_speedup = total_work_ns / exec.Makespan(per-node costs measured on a " +
-			"1-worker SolveOnGHDTimed run, replayed at the given worker budget); wall_ns = " +
-			"fastest-of-reps wall clock at exec.SetWorkers(workers) on this host. Answers at " +
-			"every worker count are verified bit-identical to the sequential reference.",
+		Methodology: "sim_speedup = total_work_ns / exec.Makespan(per-node costs from a 1-worker " +
+			"SolveOnGHDShaped run, replayed atomically at the given worker budget); " +
+			"sim_speedup_shaped = total_work_ns / exec.MakespanShaped(same run's TaskShapes: " +
+			"Work plus the Divisible portion spent in partitionable relation kernels, replayed " +
+			"as parallel chunks + serial tail per node); wall_ns = fastest-of-reps wall clock at " +
+			"exec.SetWorkers(workers) on this host. Answers at every worker count are verified " +
+			"bit-identical to the sequential reference.",
 	}
 	for _, n := range []int{10000, 100000} {
 		reps := 3
-		b, err := runParallelBench(n, 16, reps, []int{1, 2, 4, 8})
+		b, err := runParallelBench("multi-subtree", n, 16, reps, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		// One arm: the GHD is a chain, critical path == total work, and
+		// the atomic model cannot beat 1.0× — every gain in the shaped
+		// column is intra-node partitioning.
+		b, err = runParallelBench("single-heavy-node", n, 1, reps, []int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
@@ -241,11 +287,14 @@ func runParallel(outPath string) error {
 	}
 
 	fmt.Printf("parallel GHD engine scaling (host: %d CPU(s))\n", rep.HostCPUs)
-	fmt.Printf("%-8s %-8s %-12s %-14s %-12s %-10s\n", "n", "workers", "wall_ms", "sim_mkspan_ms", "sim_speedup", "identical")
+	fmt.Printf("%-18s %-8s %-8s %-10s %-12s %-10s %-14s %-10s\n",
+		"benchmark", "n", "workers", "wall_ms", "sim_atomic", "speedup", "sim_shaped", "speedup")
 	for _, b := range rep.Benchmarks {
 		for _, p := range b.Workers {
-			fmt.Printf("%-8d %-8d %-12.2f %-14.2f %-12.2f %-10v\n",
-				b.N, p.Workers, float64(p.WallNS)/1e6, float64(p.SimMakespanNS)/1e6, p.SimSpeedup, p.BitIdentical)
+			fmt.Printf("%-18s %-8d %-8d %-10.2f %-12.2f %-10.2f %-14.2f %-10.2f\n",
+				b.Name, b.N, p.Workers, float64(p.WallNS)/1e6,
+				float64(p.SimMakespanNS)/1e6, p.SimSpeedup,
+				float64(p.SimMakespanShapedNS)/1e6, p.SimSpeedupShaped)
 		}
 	}
 	fmt.Printf("wrote %s\n", outPath)

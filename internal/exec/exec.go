@@ -189,21 +189,9 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 	}
 	if w <= 1 {
 		// Sequential: a worklist in children-before-parents order.
-		queue := make([]int, 0, n)
-		for v := 0; v < n; v++ {
-			if pending[v] == 0 {
-				queue = append(queue, v)
-			}
-		}
-		for i := 0; i < len(queue); i++ {
-			v := queue[i]
+		for _, v := range seqOrder(parent) {
 			if err := run(v); err != nil {
 				return err
-			}
-			if pa := parent[v]; pa >= 0 {
-				if pending[pa]--; pending[pa] == 0 {
-					queue = append(queue, pa)
-				}
 			}
 		}
 		return nil

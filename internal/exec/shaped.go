@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"container/heap"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Intra-node partitioning model. PR 2's Makespan treats every node task
+// of a Forest schedule as atomic, which makes the replayed schedule
+// length of a single heavy GHD node equal to that node's full cost — the
+// per-bag bottleneck the paper's topology-dependent bounds charge to the
+// heaviest bag. The relation kernels are not atomic, though: above their
+// size threshold they range-split merge joins, partition hash joins and
+// grouping passes, and sub-sort Builder buffers. TaskShape lets a node
+// task declare how much of its measured cost those partitioned kernels
+// account for, and MakespanShaped replays the schedule with that
+// divisible portion allowed to spread across idle workers.
+//
+// Bit-identity is untouched by any of this: shapes only refine the
+// simulated accounting (what `faqbench -parallel` writes to
+// BENCH_parallel.json); the real execution paths carry their own
+// bit-identity guarantees and tests.
+
+func init() {
+	// FAQ_WORKERS pins the default pool's parallelism for the whole
+	// process — the hook `make test-workers` uses to re-run the
+	// equivalence suites at 1/2/8 workers without editing any test.
+	if v := os.Getenv("FAQ_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			SetWorkers(n)
+		}
+	}
+}
+
+// TaskShape describes the divisibility of one node task of a Forest
+// schedule: Work is the task's total cost, Div (≤ Work) the portion
+// spent inside kernels that partition across workers, and Parts the
+// maximum number of pieces those kernels split into. A zero Div or a
+// Parts ≤ 1 declares the task atomic — the backward-compatible shape of
+// every pre-existing cost vector.
+type TaskShape struct {
+	Work  int64
+	Div   int64
+	Parts int
+}
+
+// AtomicShapes lifts a plain cost vector into atomic task shapes, the
+// exact model Makespan uses.
+func AtomicShapes(cost []int64) []TaskShape {
+	shapes := make([]TaskShape, len(cost))
+	for i, c := range cost {
+		shapes[i] = TaskShape{Work: c}
+	}
+	return shapes
+}
+
+// shapeRec accumulates the divisible-time ledger of the task currently
+// running under ForestShaped. Fields are atomics only so that a
+// misconfigured concurrent run degrades to imprecise accounting instead
+// of a data race; the measurement contract is a 1-worker pool.
+type shapeRec struct {
+	depth atomic.Int32
+	div   atomic.Int64
+	parts atomic.Int32
+}
+
+// activeShape is the recorder of the ForestShaped task currently
+// executing, nil outside measurement runs.
+var activeShape atomic.Pointer[shapeRec]
+
+// Divisible brackets a kernel region that the calling layer partitions
+// across workers once its size threshold is met: the relation kernels
+// wrap their sequential merge-join scans, hash probes, grouping passes,
+// and Builder sorts with it. Outside a ForestShaped measurement run the
+// call is a single atomic load plus f(). Nested regions are charged to
+// the outermost bracket only, so a merge join that internally Builds
+// does not double-count.
+func Divisible(parts int, f func()) {
+	rec := activeShape.Load()
+	if rec == nil || parts <= 1 {
+		f()
+		return
+	}
+	if rec.depth.Add(1) != 1 { // nested: the enclosing region accounts for this time
+		f()
+		rec.depth.Add(-1)
+		return
+	}
+	t0 := time.Now()
+	f()
+	rec.div.Add(time.Since(t0).Nanoseconds())
+	if p := int32(parts); p > rec.parts.Load() {
+		rec.parts.Store(p)
+	}
+	rec.depth.Add(-1)
+}
+
+// seqOrder returns the deterministic children-before-parents order the
+// sequential scheduler executes a forest in.
+func seqOrder(parent []int) []int {
+	n := len(parent)
+	pending := make([]int, n)
+	for _, pa := range parent {
+		if pa >= 0 {
+			pending[pa]++
+		}
+	}
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if pending[v] == 0 {
+			order = append(order, v)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		if pa := parent[order[i]]; pa >= 0 {
+			if pending[pa]--; pending[pa] == 0 {
+				order = append(order, pa)
+			}
+		}
+	}
+	return order
+}
+
+// ForestShaped is ForestTimed with divisibility accounting: it runs the
+// forest strictly sequentially (it is a measurement harness, like a
+// 1-worker ForestTimed) and returns one TaskShape per node — the task's
+// wall-clock cost plus the portion spent inside Divisible kernel
+// regions. Shapes are meaningful when the default pool is configured at
+// 1 worker, so the kernels take their sequential paths and mark the
+// regions a multi-worker run would partition.
+func (p *Pool) ForestShaped(parent []int, run func(v int) error) ([]TaskShape, error) {
+	shapes := make([]TaskShape, len(parent))
+	for _, v := range seqOrder(parent) {
+		rec := &shapeRec{}
+		activeShape.Store(rec)
+		t0 := time.Now()
+		err := run(v)
+		work := time.Since(t0).Nanoseconds()
+		activeShape.Store(nil)
+		if err != nil {
+			return shapes, err
+		}
+		div := rec.div.Load()
+		if div > work {
+			div = work
+		}
+		parts := int(rec.parts.Load())
+		if parts < 1 {
+			parts = 1
+		}
+		shapes[v] = TaskShape{Work: work, Div: div, Parts: parts}
+	}
+	return shapes, nil
+}
+
+// shapedHeap orders ready sub-tasks by (ready time, node id, sub id) —
+// the deterministic list-scheduling policy of MakespanShaped. Sub ids
+// 0..k-1 are a node's parallel chunks; sub id k is its serial tail.
+type shapedHeap struct {
+	at   []int64
+	node []int
+	sub  []int
+}
+
+func (h *shapedHeap) Len() int { return len(h.node) }
+func (h *shapedHeap) Less(i, j int) bool {
+	if h.at[i] != h.at[j] {
+		return h.at[i] < h.at[j]
+	}
+	if h.node[i] != h.node[j] {
+		return h.node[i] < h.node[j]
+	}
+	return h.sub[i] < h.sub[j]
+}
+func (h *shapedHeap) Swap(i, j int) {
+	h.at[i], h.at[j] = h.at[j], h.at[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+	h.sub[i], h.sub[j] = h.sub[j], h.sub[i]
+}
+func (h *shapedHeap) Push(x any) {
+	t := x.([3]int64)
+	h.at = append(h.at, t[0])
+	h.node = append(h.node, int(t[1]))
+	h.sub = append(h.sub, int(t[2]))
+}
+func (h *shapedHeap) Pop() any {
+	n := len(h.node) - 1
+	t := [3]int64{h.at[n], int64(h.node[n]), int64(h.sub[n])}
+	h.at, h.node, h.sub = h.at[:n], h.node[:n], h.sub[:n]
+	return t
+}
+
+// MakespanShaped replays a Forest schedule under a simulated worker
+// budget like Makespan, but honors each task's declared divisibility: a
+// task with shape {Work, Div, Parts > 1} expands into Parts parallel
+// chunks of Div/Parts each (remainder nanoseconds on the lowest-index
+// chunks) followed by a serial tail of Work − Div that starts once every
+// chunk finished; the task's children-before-parents edges attach to the
+// chunks' start and the tail's finish. Atomic shapes (Div = 0 or
+// Parts ≤ 1) reduce the replay to exactly Makespan's schedule, so
+// MakespanShaped(parent, AtomicShapes(cost), w) == Makespan(parent,
+// cost, w) — the backward-compatibility contract pinned by the tests.
+func MakespanShaped(parent []int, shape []TaskShape, workers int) int64 {
+	n := len(parent)
+	if n == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pending := make([]int, n)
+	for _, pa := range parent {
+		if pa >= 0 {
+			pending[pa]++
+		}
+	}
+	// Per-node chunk bookkeeping: nchunks == 0 marks an atomic task whose
+	// single sub-task (sub id 0) carries the full Work.
+	nchunks := make([]int, n)
+	chunksLeft := make([]int, n)
+	chunkMax := make([]int64, n)
+	childMax := make([]int64, n)
+	ready := &shapedHeap{}
+	heap.Init(ready)
+	release := func(v int, at int64) {
+		sh := shape[v]
+		div := sh.Div
+		if div > sh.Work {
+			div = sh.Work
+		}
+		if sh.Parts <= 1 || div <= 0 {
+			heap.Push(ready, [3]int64{at, int64(v), 0})
+			return
+		}
+		nchunks[v] = sh.Parts
+		chunksLeft[v] = sh.Parts
+		chunkMax[v] = at
+		for c := 0; c < sh.Parts; c++ {
+			heap.Push(ready, [3]int64{at, int64(v), int64(c)})
+		}
+	}
+	for v := 0; v < n; v++ {
+		if pending[v] == 0 {
+			release(v, 0)
+		}
+	}
+	free := make(int64Heap, workers)
+	heap.Init(&free)
+	var span int64
+	for ready.Len() > 0 {
+		t := heap.Pop(ready).([3]int64)
+		at, v, sub := t[0], int(t[1]), int(t[2])
+		sh := shape[v]
+		div := sh.Div
+		if div > sh.Work {
+			div = sh.Work
+		}
+		k := nchunks[v]
+		var cost int64
+		switch {
+		case k == 0: // atomic task
+			cost = sh.Work
+		case sub < k: // parallel chunk
+			cost = div / int64(k)
+			if int64(sub) < div%int64(k) {
+				cost++
+			}
+		default: // serial tail
+			cost = sh.Work - div
+		}
+		w := heap.Pop(&free).(int64)
+		start := at
+		if w > start {
+			start = w
+		}
+		fin := start + cost
+		heap.Push(&free, fin)
+		if k > 0 && sub < k {
+			if fin > chunkMax[v] {
+				chunkMax[v] = fin
+			}
+			if chunksLeft[v]--; chunksLeft[v] == 0 {
+				heap.Push(ready, [3]int64{chunkMax[v], int64(v), int64(k)})
+			}
+			continue
+		}
+		// The node's last sub-task: the node is complete at fin.
+		if fin > span {
+			span = fin
+		}
+		if pa := parent[v]; pa >= 0 {
+			if fin > childMax[pa] {
+				childMax[pa] = fin
+			}
+			if pending[pa]--; pending[pa] == 0 {
+				release(pa, childMax[pa])
+			}
+		}
+	}
+	return span
+}

@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// balancedBinaryParent builds a 7-node balanced binary tree: root 0 with
+// children 1,2; node 1 with children 3,4; node 2 with children 5,6.
+func balancedBinaryParent() []int { return []int{-1, 0, 0, 1, 1, 2, 2} }
+
+// uniformShapes returns n identical shapes.
+func uniformShapes(n int, sh TaskShape) []TaskShape {
+	shapes := make([]TaskShape, n)
+	for i := range shapes {
+		shapes[i] = sh
+	}
+	return shapes
+}
+
+// TestMakespanShapedHandComputed is the satellite table: hand-computed
+// work/span schedules for line, star, and balanced-binary GHD shapes,
+// with atomic and divisible task mixes.
+func TestMakespanShapedHandComputed(t *testing.T) {
+	line4 := chainParent(4) // 3 -> 2 -> 1 -> 0, leaf is node 3
+	star5 := starParent(5)  // root 0 with leaves 1..4
+	bin7 := balancedBinaryParent()
+
+	cases := []struct {
+		name    string
+		parent  []int
+		shape   []TaskShape
+		workers int
+		want    int64
+	}{
+		// --- line: the chain admits no inter-node parallelism, so all
+		// speedup must come from intra-node chunks.
+		{
+			// Atomic backward-compat: chain of cost 8 each = 32 at any width.
+			"line/atomic/8w", line4, uniformShapes(4, TaskShape{Work: 8}), 8, 32,
+		},
+		{
+			// Fully divisible into 4 chunks of 2: each node takes 2 at 4
+			// workers (4 chunks in one wave, zero tail), 4·2 = 8.
+			"line/divisible/4w", line4, uniformShapes(4, TaskShape{Work: 8, Div: 8, Parts: 4}), 4, 8,
+		},
+		{
+			// Same shapes at 2 workers: 4 chunks of 2 on 2 workers = two
+			// waves of 2 per node → 4 per node, 16 total.
+			"line/divisible/2w", line4, uniformShapes(4, TaskShape{Work: 8, Div: 8, Parts: 4}), 2, 16,
+		},
+		{
+			// Half divisible (Div 4 of Work 8, 4 chunks of 1): chunks one
+			// wave of 1, then a serial tail of 4 → 5 per node, 20 total.
+			"line/half-divisible/4w", line4, uniformShapes(4, TaskShape{Work: 8, Div: 4, Parts: 4}), 4, 20,
+		},
+		{
+			// 1 worker: shapes never help — chunks serialize, 4·8 = 32.
+			"line/divisible/1w", line4, uniformShapes(4, TaskShape{Work: 8, Div: 8, Parts: 4}), 1, 32,
+		},
+		// --- star: wide DAGs already keep workers busy; shaping the
+		// leaves cannot beat the work bound, but shaping helps exactly
+		// where the schedule has idle workers (the root).
+		{
+			"star/atomic/2w", star5, uniformShapes(5, TaskShape{Work: 4}), 2, 12, // 4 leaves on 2 workers = 8, +4 root
+		},
+		{
+			// Divisible leaves AND root, 2 chunks of 2 each: leaf chunks
+			// are 8 sub-tasks of 2 on 2 workers = 8, root then runs its 2
+			// chunks in one wave = 2 → 10.
+			"star/divisible/2w", star5, uniformShapes(5, TaskShape{Work: 4, Div: 4, Parts: 2}), 2, 10,
+		},
+		{
+			// Only the root divisible: leaves pack into 8 as atomic tasks,
+			// root's 2 chunks of 2 take 2 → 10 (vs 12 atomic).
+			"star/root-divisible/2w", star5,
+			[]TaskShape{{Work: 4, Div: 4, Parts: 2}, {Work: 4}, {Work: 4}, {Work: 4}, {Work: 4}}, 2, 10,
+		},
+		// --- balanced binary: inter-node parallelism covers the two
+		// subtrees, intra-node chunks flatten the root path.
+		{
+			"binary/atomic/1w", bin7, uniformShapes(7, TaskShape{Work: 10}), 1, 70,
+		},
+		{
+			// Atomic at 4 workers: leaves 3,4,5,6 in one wave (10), nodes
+			// 1,2 in one wave (10), root (10) → 30.
+			"binary/atomic/4w", bin7, uniformShapes(7, TaskShape{Work: 10}), 4, 30,
+		},
+		{
+			// Divisible into 2 chunks of 5 at 4 workers: the leaf wave has
+			// 8 chunks of 5 on 4 workers = 10, the internal wave 4 chunks
+			// of 5 = 5, the root 2 chunks of 5 = 5 → 20.
+			"binary/divisible/4w", bin7, uniformShapes(7, TaskShape{Work: 10, Div: 10, Parts: 2}), 4, 20,
+		},
+		{
+			// Div with remainder: Work 10, Div 7, Parts 3 → chunks 3,2,2
+			// then tail 3. One node alone at 3 workers: max(chunk)=3, +3
+			// tail = 6.
+			"single/remainder/3w", []int{-1}, []TaskShape{{Work: 10, Div: 7, Parts: 3}}, 3, 6,
+		},
+		{
+			// More chunks than workers: 4 chunks of 1 on 2 workers = 2
+			// waves of 1 = 2, tail 6 → 8.
+			"single/chunks-exceed-workers/2w", []int{-1}, []TaskShape{{Work: 10, Div: 4, Parts: 4}}, 2, 8,
+		},
+		// Degenerate shapes.
+		{"empty", nil, nil, 4, 0},
+		{
+			// Div > Work is clamped to Work: behaves as fully divisible.
+			"single/div-clamped/2w", []int{-1}, []TaskShape{{Work: 8, Div: 100, Parts: 2}}, 2, 4,
+		},
+		{
+			// Parts ≤ 1 is atomic regardless of Div.
+			"single/parts1-atomic/8w", []int{-1}, []TaskShape{{Work: 8, Div: 8, Parts: 1}}, 8, 8,
+		},
+	}
+	for _, tc := range cases {
+		if got := MakespanShaped(tc.parent, tc.shape, tc.workers); got != tc.want {
+			t.Errorf("%s: MakespanShaped = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMakespanShapedAtomicMatchesMakespan pins the backward-compat
+// contract: atomic shapes replay to exactly the schedule Makespan
+// computes, on deterministic shapes and on random forests.
+func TestMakespanShapedAtomicMatchesMakespan(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		parent := make([]int, n)
+		cost := make([]int64, n)
+		for v := 0; v < n; v++ {
+			parent[v] = r.Intn(v+1) - 1 // parent < v keeps it a valid forest
+			cost[v] = int64(r.Intn(100))
+		}
+		for _, w := range []int{1, 2, 3, 8} {
+			got := MakespanShaped(parent, AtomicShapes(cost), w)
+			want := Makespan(parent, cost, w)
+			if got != want {
+				t.Fatalf("trial %d workers %d: shaped(atomic) = %d, Makespan = %d\nparent=%v cost=%v",
+					trial, w, got, want, parent, cost)
+			}
+		}
+	}
+}
+
+// TestMakespanShapedBounds: on random forests and shapes, the replayed
+// schedule length obeys the work bounds of greedy list scheduling — at
+// least ceil(total/workers) (no worker exceeds unit speed), at most the
+// total work (some worker is always busy while sub-tasks remain), and
+// exactly the total at one worker. Note shaped is NOT asserted ≤ atomic:
+// greedy list schedules have Graham anomalies, so chunking a task can
+// occasionally lengthen a particular schedule.
+func TestMakespanShapedBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(30)
+		parent := make([]int, n)
+		shapes := make([]TaskShape, n)
+		var total int64
+		for v := 0; v < n; v++ {
+			parent[v] = r.Intn(v+1) - 1 // parent < v keeps it a valid forest
+			work := int64(1 + r.Intn(64))
+			shapes[v] = TaskShape{Work: work, Div: int64(r.Intn(int(work + 1))), Parts: 1 + r.Intn(6)}
+			total += work
+		}
+		if got := MakespanShaped(parent, shapes, 1); got != total {
+			t.Fatalf("trial %d: 1-worker shaped makespan %d != total work %d", trial, got, total)
+		}
+		for _, w := range []int{2, 4, 8} {
+			shaped := MakespanShaped(parent, shapes, w)
+			if lower := (total + int64(w) - 1) / int64(w); shaped < lower {
+				t.Fatalf("trial %d workers %d: shaped %d below work bound %d", trial, w, shaped, lower)
+			}
+			if shaped > total {
+				t.Fatalf("trial %d workers %d: shaped %d above total work %d", trial, w, shaped, total)
+			}
+		}
+	}
+}
+
+// TestForestShapedRecordsDivisibleRegions runs a forest whose tasks mark
+// Divisible regions and checks the recorded shapes: Div ≤ Work, Parts
+// captured, nested regions charged once, unmarked tasks atomic.
+func TestForestShapedRecordsDivisibleRegions(t *testing.T) {
+	parent := []int{-1, 0, 0}
+	busy := func(d time.Duration) {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+	}
+	shapes, err := New(1).ForestShaped(parent, func(v int) error {
+		switch v {
+		case 1: // one marked region, with a nested region inside
+			Divisible(8, func() {
+				Divisible(4, func() { busy(2 * time.Millisecond) })
+				busy(2 * time.Millisecond)
+			})
+		case 2: // unmarked: atomic
+			busy(time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, sh := range shapes {
+		if sh.Div > sh.Work {
+			t.Errorf("node %d: Div %d > Work %d", v, sh.Div, sh.Work)
+		}
+	}
+	if shapes[1].Parts != 8 {
+		t.Errorf("node 1: Parts = %d, want 8 (outermost bracket)", shapes[1].Parts)
+	}
+	if shapes[1].Div < (3 * time.Millisecond).Nanoseconds() {
+		t.Errorf("node 1: Div = %dns, want ≥ 3ms (both busy loops inside the bracket)", shapes[1].Div)
+	}
+	if shapes[2].Div != 0 || shapes[2].Parts != 1 {
+		t.Errorf("node 2: shape %+v, want atomic (Div 0, Parts 1)", shapes[2])
+	}
+	// Outside a measurement run, Divisible is a plain call.
+	ran := false
+	Divisible(4, func() { ran = true })
+	if !ran {
+		t.Fatal("Divisible must run f outside ForestShaped")
+	}
+}
+
+// TestForestShapedPropagatesError: task errors surface like Forest's.
+func TestForestShapedPropagatesError(t *testing.T) {
+	parent := chainParent(5)
+	_, err := New(1).ForestShaped(parent, func(v int) error {
+		if v == 2 {
+			return errShaped
+		}
+		return nil
+	})
+	if err != errShaped {
+		t.Fatalf("err = %v, want errShaped", err)
+	}
+	if activeShape.Load() != nil {
+		t.Fatal("activeShape recorder leaked after error")
+	}
+}
+
+var errShaped = errTest("shaped boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

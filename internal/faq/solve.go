@@ -149,7 +149,7 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 // aggregation — is unchanged from the sequential pass, so the result is
 // bit-identical at any worker count.
 func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
-	rel, _, err := solveOnGHD(q, g, false)
+	rel, _, _, err := solveOnGHD(q, g, solvePlain)
 	return rel, err
 }
 
@@ -158,17 +158,40 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 // The cost vector feeds exec.Makespan's schedule replay — the
 // hardware-independent speedup accounting of `faqbench -parallel`.
 func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
-	return solveOnGHD(q, g, true)
+	rel, costs, _, err := solveOnGHD(q, g, solveTimed)
+	return rel, costs, err
 }
 
-func solveOnGHD[T any](q *Query[T], g *ghd.GHD, timed bool) (*relation.Relation[T], []int64, error) {
+// SolveOnGHDShaped is SolveOnGHDTimed with intra-node divisibility
+// accounting: the pass runs strictly sequentially (exec.ForestShaped is
+// a measurement harness) and each node's shape records, besides its
+// total wall cost, the time spent inside relation kernels that would
+// have partitioned across workers (the exec.Divisible regions — merge
+// and hash joins, Builder sorts, packed grouping) and their maximum
+// split count. The shapes feed exec.MakespanShaped's refined schedule
+// replay. Meaningful with the default pool at 1 worker, so the kernels
+// take the sequential paths that mark those regions.
+func SolveOnGHDShaped[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []exec.TaskShape, error) {
+	rel, _, shapes, err := solveOnGHD(q, g, solveShaped)
+	return rel, shapes, err
+}
+
+type solveMode int
+
+const (
+	solvePlain solveMode = iota
+	solveTimed
+	solveShaped
+)
+
+func solveOnGHD[T any](q *Query[T], g *ghd.GHD, mode solveMode) (*relation.Relation[T], []int64, []exec.TaskShape, error) {
 	if err := q.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rootBag := g.Bags[g.Root]
 	for _, v := range q.Free {
 		if !hypergraph.ContainsSorted(rootBag, v) {
-			return nil, nil, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
+			return nil, nil, nil, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
 		}
 	}
 
@@ -220,16 +243,20 @@ func solveOnGHD[T any](q *Query[T], g *ghd.GHD, timed bool) (*relation.Relation[
 		return nil
 	}
 	var costs []int64
+	var shapes []exec.TaskShape
 	var err error
-	if timed {
+	switch mode {
+	case solveTimed:
 		costs, err = exec.Default().ForestTimed(g.Parent, task)
-	} else {
+	case solveShaped:
+		shapes, err = exec.Default().ForestShaped(g.Parent, task)
+	default:
 		err = exec.Default().Forest(g.Parent, task)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return msgs[g.Root], costs, nil
+	return msgs[g.Root], costs, shapes, nil
 }
 
 // BCQValue extracts the Boolean answer of a BCQ result (a scalar

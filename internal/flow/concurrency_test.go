@@ -1,0 +1,73 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/topology"
+)
+
+// Concurrency safety of MaxFlow: the protocol layer now shards its
+// per-factor flow computations across the exec pool, so many MaxFlow
+// calls run simultaneously against one shared topology.Graph. MaxFlow
+// must treat the graph as read-only (all mutable state — netFlow, BFS
+// queues, path decompositions — is call-local). This test drives the
+// exact sharded pattern on the grid and clique fixtures under `-race`
+// (CI runs the race job on every package) and checks every concurrent
+// result deep-equals its sequential twin: Value, Paths, and SourceSide.
+func TestMaxFlowConcurrentCallsShareGraph(t *testing.T) {
+	fixtures := []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"grid", topology.Grid(3, 4)},
+		{"clique", topology.Clique(8)},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			n := fx.g.N()
+			type pair struct{ s, t int }
+			var pairs []pair
+			for s := 0; s < n; s++ {
+				for u := 0; u < n; u++ {
+					if s != u {
+						pairs = append(pairs, pair{s, u})
+					}
+				}
+			}
+			want := make([]*Result, len(pairs))
+			for i, p := range pairs {
+				r, err := MaxFlow(fx.g, p.s, p.t)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = r
+			}
+			// Several rounds of the sharded pattern: every pair's MaxFlow
+			// concurrently on one pool, results compared to sequential.
+			pool := exec.New(8)
+			for round := 0; round < 3; round++ {
+				got := make([]*Result, len(pairs))
+				if err := pool.MapErr(len(pairs), func(i int) error {
+					r, err := MaxFlow(fx.g, pairs[i].s, pairs[i].t)
+					got[i] = r
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for i := range pairs {
+					if got[i].Value != want[i].Value {
+						t.Fatalf("round %d pair %v: Value %d != %d", round, pairs[i], got[i].Value, want[i].Value)
+					}
+					if !reflect.DeepEqual(got[i].Paths, want[i].Paths) {
+						t.Fatalf("round %d pair %v: Paths diverged", round, pairs[i])
+					}
+					if !reflect.DeepEqual(got[i].SourceSide, want[i].SourceSide) {
+						t.Fatalf("round %d pair %v: SourceSide diverged", round, pairs[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -458,7 +458,29 @@ func convergeOverPackingStaggered[K cmp.Ordered, T any](r *runner[T], playerMaps
 func (r *runner[T]) corePhase(root int, children []int) error {
 	q := r.s.Q
 	out := r.s.Output
-	for _, c := range children {
+	// Sharded flow analysis, sequential ledger: the per-child MaxFlow
+	// calls are pure reads of the topology, so they run across the exec
+	// pool; all RoutePath bookings below stay in child order on the
+	// sequential netsim ledger, keeping the Report byte-identical at any
+	// worker count (same split as RunTrivial's).
+	flows := make([]*flow.Result, len(children))
+	if err := exec.Default().MapErr(len(children), func(i int) error {
+		c := children[i]
+		src := r.owner[c]
+		bits := r.rel[c].Len() * r.s.TupleBits(r.rel[c].Arity())
+		if src == out || bits == 0 { // same predicate as the ledger loop below
+			return nil
+		}
+		res, err := flow.MaxFlow(r.s.G, src, out)
+		if err != nil {
+			return err
+		}
+		flows[i] = res
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, c := range children {
 		src := r.owner[c]
 		if src == out {
 			continue
@@ -474,10 +496,7 @@ func (r *runner[T]) corePhase(root int, children []int) error {
 			}
 			continue
 		}
-		res, err := flow.MaxFlow(r.s.G, src, out)
-		if err != nil {
-			return err
-		}
+		res := flows[i]
 		if res.Value == 0 {
 			return fmt.Errorf("protocol: no route from %d to %d", src, out)
 		}

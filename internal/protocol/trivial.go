@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/faq"
 	"repro/internal/flow"
 	"repro/internal/netsim"
@@ -25,26 +26,48 @@ func RunTrivial[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
 	if err != nil {
 		return nil, rep, err
 	}
+	// Phase 1 — sharded flow analysis: the per-factor MaxFlow
+	// computations only read the (immutable) topology, so they fan out
+	// across the exec pool. Phase 2 books every transmission on the
+	// netsim ledger strictly sequentially in factor order, so the Report
+	// stays byte-identical at any worker count.
+	type routeJob struct {
+		src, bits int
+	}
+	var jobs []routeJob
 	for e, src := range s.Assign {
 		if src == s.Output {
 			continue
 		}
 		f := s.Q.Factors[e]
-		bits := f.Len() * s.TupleBits(f.Arity())
-		if bits == 0 {
-			if _, err := notifyEmpty(net, s.G, src, s.Output, 0); err != nil {
+		jobs = append(jobs, routeJob{src: src, bits: f.Len() * s.TupleBits(f.Arity())})
+	}
+	flows := make([]*flow.Result, len(jobs))
+	if err := exec.Default().MapErr(len(jobs), func(i int) error {
+		if jobs[i].bits == 0 {
+			return nil // empty factor: a notification, no flow needed
+		}
+		res, err := flow.MaxFlow(s.G, jobs[i].src, s.Output)
+		if err != nil {
+			return err
+		}
+		flows[i] = res
+		return nil
+	}); err != nil {
+		return nil, rep, err
+	}
+	for i, j := range jobs {
+		if j.bits == 0 {
+			if _, err := notifyEmpty(net, s.G, j.src, s.Output, 0); err != nil {
 				return nil, rep, err
 			}
 			continue
 		}
-		res, err := flow.MaxFlow(s.G, src, s.Output)
-		if err != nil {
-			return nil, rep, err
-		}
+		res := flows[i]
 		if res.Value == 0 {
-			return nil, rep, fmt.Errorf("protocol: no route from %d to %d", src, s.Output)
+			return nil, rep, fmt.Errorf("protocol: no route from %d to %d", j.src, s.Output)
 		}
-		share := ceilDiv(bits, res.Value)
+		share := ceilDiv(j.bits, res.Value)
 		for _, p := range res.Paths {
 			if _, err := net.RoutePath(p, 0, share); err != nil {
 				return nil, rep, err

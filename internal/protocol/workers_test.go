@@ -1,0 +1,192 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/topology"
+)
+
+// Worker-sweep determinism extensions for the sharded per-factor MaxFlow
+// phases: RunTrivial and the corePhase now compute their flow analyses
+// across the exec pool, and this file pins the contract that sharding
+// changed nothing — Reports (rounds AND bits) are byte-identical and
+// answers bit-identical at workers ∈ {1, 2, 8}, on both the grid and
+// the clique topologies. Run under `-race` by CI, these are also the
+// concurrency-safety tests for concurrent flow.MaxFlow calls sharing
+// one topology.Graph.
+
+// buildCyclicSetup assembles a triangle-core query (so Run exercises
+// corePhase's sharded flows) with per-factor data, on a caller-chosen
+// topology.
+func buildCyclicSetup(t *testing.T, g *topology.Graph, seed int64) *Setup[float64] {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.Edge("A", "B")
+	b.Edge("B", "C")
+	b.Edge("A", "C") // triangle: cyclic core
+	b.Edge("C", "D") // pendant arm
+	b.Edge("D", "E")
+	h := b.Build()
+	r := rand.New(rand.NewSource(seed))
+	dom := 6
+	factors := make([]*relation.Relation[float64], h.NumEdges())
+	for i := range factors {
+		bb := relation.NewBuilder[float64](sp, h.Edge(i))
+		for k := 0; k < 25; k++ {
+			bb.Add([]int{r.Intn(dom), r.Intn(dom)}, float64(1+r.Intn(16))/8)
+		}
+		factors[i] = bb.Build()
+	}
+	q := &faq.Query[float64]{S: sp, H: h, Factors: factors, DomSize: dom}
+	assign := make(Assignment, h.NumEdges())
+	for i := range assign {
+		assign[i] = i % g.N()
+	}
+	return &Setup[float64]{Q: q, G: g, Assign: assign, Output: g.N() - 1}
+}
+
+// TestShardedMaxFlowReportIdentity sweeps workers 1/2/8 over both
+// protocols on the grid and clique fixtures: every Report field and
+// every answer byte must match the 1-worker run.
+func TestShardedMaxFlowReportIdentity(t *testing.T) {
+	fixtures := []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"grid", topology.Grid(2, 4)},
+		{"clique", topology.Clique(6)},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			setups := []struct {
+				name string
+				s    *Setup[float64]
+			}{
+				{"acyclic", buildDeterminismSetupOn(t, fx.g, 821)},
+				{"cyclic-core", buildCyclicSetup(t, fx.g, 822)},
+			}
+			for _, su := range setups {
+				prev := exec.SetWorkers(1)
+				ansRef, repRef, err1 := Run(su.s)
+				tRef, trepRef, err2 := RunTrivial(su.s)
+				exec.SetWorkers(prev)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: sequential reference failed: %v %v", su.name, err1, err2)
+				}
+				for _, w := range []int{1, 2, 8} {
+					exec.SetWorkers(w)
+					ans, rep, err1 := Run(su.s)
+					ta, trep, err2 := RunTrivial(su.s)
+					exec.SetWorkers(prev)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("%s workers=%d: %v %v", su.name, w, err1, err2)
+					}
+					if rep != repRef {
+						t.Errorf("%s workers=%d: Run Report %+v != sequential %+v", su.name, w, rep, repRef)
+					}
+					if trep != trepRef {
+						t.Errorf("%s workers=%d: RunTrivial Report %+v != sequential %+v", su.name, w, trep, trepRef)
+					}
+					if !relation.Equal(sp, ans, ansRef) || !valuesIdentical(ans, ansRef) {
+						t.Errorf("%s workers=%d: Run answer not bit-identical", su.name, w)
+					}
+					if !relation.Equal(sp, ta, tRef) || !valuesIdentical(ta, tRef) {
+						t.Errorf("%s workers=%d: RunTrivial answer not bit-identical", su.name, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// buildDeterminismSetupOn is buildDeterminismSetup with a caller-chosen
+// topology (the original is pinned to the 2×4 grid).
+func buildDeterminismSetupOn(t *testing.T, g *topology.Graph, seed int64) *Setup[float64] {
+	t.Helper()
+	s := buildDeterminismSetup(t, seed)
+	assign := make(Assignment, len(s.Assign))
+	for i := range assign {
+		assign[i] = i % g.N()
+	}
+	return &Setup[float64]{Q: s.Q, G: g, Assign: assign, Output: g.N() - 1}
+}
+
+// TestRunTrivialRepeatedUnderWorkers re-runs RunTrivial many times at 8
+// workers: the sharded flow phase must be schedule-independent run to
+// run, not merely equal to sequential once.
+func TestRunTrivialRepeatedUnderWorkers(t *testing.T) {
+	s := buildCyclicSetup(t, topology.Grid(2, 4), 823)
+	prev := exec.SetWorkers(8)
+	defer exec.SetWorkers(prev)
+	ans0, rep0, err := RunTrivial(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		ans, rep, err := RunTrivial(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep != rep0 {
+			t.Fatalf("run %d: Report %+v != %+v", i, rep, rep0)
+		}
+		if !relation.Equal(sp, ans, ans0) || !valuesIdentical(ans, ans0) {
+			t.Fatalf("run %d: answer drifted", i)
+		}
+	}
+}
+
+// TestShardedMaxFlowManyFactors stresses the MapErr fan-out with more
+// factors than workers (a star query with 20 leaves assigned round-robin
+// across a clique), pinning Report equality across worker counts.
+func TestShardedMaxFlowManyFactors(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	leaves := 20
+	for i := 0; i < leaves; i++ {
+		b.Edge("X", fmt.Sprintf("L%d", i))
+	}
+	h := b.Build()
+	r := rand.New(rand.NewSource(824))
+	factors := make([]*relation.Relation[float64], h.NumEdges())
+	for i := range factors {
+		bb := relation.NewBuilder[float64](sp, h.Edge(i))
+		for k := 0; k < 10+r.Intn(20); k++ {
+			bb.Add([]int{r.Intn(5), r.Intn(5)}, float64(1+r.Intn(8))/4)
+		}
+		factors[i] = bb.Build()
+	}
+	q := &faq.Query[float64]{S: sp, H: h, Factors: factors, DomSize: 5}
+	g := topology.Clique(7)
+	assign := make(Assignment, h.NumEdges())
+	for i := range assign {
+		assign[i] = i % g.N()
+	}
+	s := &Setup[float64]{Q: q, G: g, Assign: assign, Output: 0}
+
+	prev := exec.SetWorkers(1)
+	ansRef, repRef, err := RunTrivial(s)
+	exec.SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		exec.SetWorkers(w)
+		ans, rep, err := RunTrivial(s)
+		exec.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep != repRef {
+			t.Errorf("workers=%d: Report %+v != %+v", w, rep, repRef)
+		}
+		if !relation.Equal(sp, ans, ansRef) || !valuesIdentical(ans, ansRef) {
+			t.Errorf("workers=%d: answer not bit-identical", w)
+		}
+	}
+}

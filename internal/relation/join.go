@@ -116,6 +116,11 @@ func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 		if !restBefore(a.schema, b.schema, p) && restBefore(b.schema, a.schema, p) {
 			a, b = b, a // ⋈ is commutative; this orientation emits sorted output
 		}
+		if p >= 1 {
+			if parts := parallelParts(a.Len() + b.Len()); parts > 1 {
+				return joinMergeParallel(s, a, b, p, parts)
+			}
+		}
 		return joinMerge(s, a, b, p)
 	}
 	if len(shared) >= 1 && len(shared) <= keys.MaxPacked {
@@ -132,41 +137,53 @@ func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 func joinMerge[T any](s semiring.Semiring[T], a, b *Relation[T], p int) *Relation[T] {
 	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
 	srcs := outputSrcs(outSchema, a.schema, b.schema)
-	aAr, bAr := len(a.schema), len(b.schema)
 	na, nb := a.Len(), b.Len()
-	ordered := restBefore(a.schema, b.schema, p)
-
-	var out *Builder[T]
 	var rows []int32
 	var vals []T
-	if ordered {
-		cap := maxLen(na, nb)
-		rows = make([]int32, 0, cap*len(outSchema))
-		vals = make([]T, 0, cap)
-	} else {
-		out = NewBuilderHint(s, outSchema, maxLen(na, nb))
+	divN := 0
+	if p >= 1 {
+		divN = na + nb // the range-split twin serves exactly p ≥ 1
 	}
-	scratch := make([]int32, len(outSchema))
+	markDivisible(divN, func() {
+		rows, vals = joinMergeRange(s, a, b, p, srcs, len(outSchema), 0, na, 0, nb)
+	})
+	return mergeEmit(s, outSchema, restBefore(a.schema, b.schema, p), rows, vals)
+}
 
-	i, j := 0, 0
-	for i < na && j < nb {
+// joinMergeRange crosses the matching key groups of a[aLo:aHi) ×
+// b[bLo:bHi) and returns the joined rows and values in generation order
+// (ascending shared key, then a-row, then b-row). It is the shared core
+// of the sequential merge join and of each chunk of the range-split
+// parallel merge: chunk outputs concatenated in chunk order are exactly
+// the sequential generation sequence, which is what makes the parallel
+// path bit-identical.
+func joinMergeRange[T any](s semiring.Semiring[T], a, b *Relation[T], p int, srcs []colSrc, outW,
+	aLo, aHi, bLo, bHi int) ([]int32, []T) {
+	aAr, bAr := len(a.schema), len(b.schema)
+	cap := maxLen(aHi-aLo, bHi-bLo)
+	rows := make([]int32, 0, cap*outW)
+	vals := make([]T, 0, cap)
+	scratch := make([]int32, outW)
+
+	i, j := aLo, bLo
+	for i < aHi && j < bHi {
 		ra := a.rows[i*aAr:]
 		rb := b.rows[j*bAr:]
 		c := compareShared(ra, rb, p)
 		if c < 0 {
-			i = gallopShared(a.rows, aAr, na, i+1, rb, p)
+			i = gallopShared(a.rows, aAr, aHi, i+1, rb, p)
 			continue
 		}
 		if c > 0 {
-			j = gallopShared(b.rows, bAr, nb, j+1, ra, p)
+			j = gallopShared(b.rows, bAr, bHi, j+1, ra, p)
 			continue
 		}
 		iEnd := i + 1
-		for iEnd < na && compareShared(a.rows[iEnd*aAr:], ra, p) == 0 {
+		for iEnd < aHi && compareShared(a.rows[iEnd*aAr:], ra, p) == 0 {
 			iEnd++
 		}
 		jEnd := j + 1
-		for jEnd < nb && compareShared(b.rows[jEnd*bAr:], rb, p) == 0 {
+		for jEnd < bHi && compareShared(b.rows[jEnd*bAr:], rb, p) == 0 {
 			jEnd++
 		}
 		for x := i; x < iEnd; x++ {
@@ -184,20 +201,28 @@ func joinMerge[T any](s semiring.Semiring[T], a, b *Relation[T], p int) *Relatio
 						scratch[k] = tb[sc.col]
 					}
 				}
-				if ordered {
-					rows = append(rows, scratch...)
-					vals = append(vals, v)
-				} else {
-					out.AddRow(scratch, v)
-				}
+				rows = append(rows, scratch...)
+				vals = append(vals, v)
 			}
 		}
 		i, j = iEnd, jEnd
 	}
+	return rows, vals
+}
+
+// mergeEmit wraps a merge join's generated rows into a relation: the
+// ordered orientation is already the output's lexicographic order, the
+// unordered one re-sorts through the Builder (whose ⊕-merge sees the
+// rows in exactly the generation order, keeping duplicate combination
+// order identical across sequential and parallel paths).
+func mergeEmit[T any](s semiring.Semiring[T], outSchema []int, ordered bool, rows []int32, vals []T) *Relation[T] {
 	if ordered {
 		return fromSorted(outSchema, rows, vals)
 	}
-	return out.Build()
+	bld := NewBuilderHint(s, outSchema, len(vals))
+	bld.rows = append(bld.rows, rows...)
+	bld.vals = append(bld.vals, vals...)
+	return bld.Build()
 }
 
 // joinHash indexes b on the shared columns — packed uint64 keys for ≤ 2
@@ -230,24 +255,30 @@ func joinHash[T any](s semiring.Semiring[T], a, b *Relation[T], shared []int) *R
 	}
 
 	if len(shared) <= keys.MaxPacked {
-		head := make(map[uint64]int32, nb)
-		next := make([]int32, nb)
-		for i := nb - 1; i >= 0; i-- {
-			k := keys.PackCols(b.Tuple(i), bCols)
-			if h, ok := head[k]; ok {
-				next[i] = h
-			} else {
-				next[i] = -1
-			}
-			head[k] = int32(i)
+		divN := 0
+		if len(shared) >= 1 {
+			divN = na + nb // joinHashParallel is the partitioned twin
 		}
-		for i := 0; i < na; i++ {
-			if h, ok := head[keys.PackCols(a.Tuple(i), aCols)]; ok {
-				for j := h; j >= 0; j = next[j] {
-					emit(i, int(j))
+		markDivisible(divN, func() {
+			head := make(map[uint64]int32, nb)
+			next := make([]int32, nb)
+			for i := nb - 1; i >= 0; i-- {
+				k := keys.PackCols(b.Tuple(i), bCols)
+				if h, ok := head[k]; ok {
+					next[i] = h
+				} else {
+					next[i] = -1
+				}
+				head[k] = int32(i)
+			}
+			for i := 0; i < na; i++ {
+				if h, ok := head[keys.PackCols(a.Tuple(i), aCols)]; ok {
+					for j := h; j >= 0; j = next[j] {
+						emit(i, int(j))
+					}
 				}
 			}
-		}
+		})
 		return out.Build()
 	}
 
@@ -280,7 +311,18 @@ func joinHash[T any](s semiring.Semiring[T], a, b *Relation[T], shared []int) *R
 func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 	shared := hypergraph.IntersectSorted(a.schema, b.schema)
 	if isPrefixOf(shared, a.schema) && isPrefixOf(shared, b.schema) {
-		return semijoinMerge(a, b, len(shared))
+		p := len(shared)
+		if p >= 1 {
+			if parts := parallelParts(a.Len() + b.Len()); parts > 1 {
+				return semijoinMergeParallel(a, b, p, parts)
+			}
+		}
+		return semijoinMerge(a, b, p)
+	}
+	if len(shared) >= 1 && len(shared) <= keys.MaxPacked {
+		if parts := parallelParts(a.Len() + b.Len()); parts > 1 {
+			return semijoinHashParallel(a, b, shared, parts)
+		}
 	}
 	return semijoinHash(a, b, shared)
 }
@@ -288,27 +330,44 @@ func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
 // semijoinMerge filters a against b with a galloping two-pointer scan on
 // the shared prefix; the output is a's row order, already sorted.
 func semijoinMerge[T any](a, b *Relation[T], p int) *Relation[T] {
-	aAr, bAr := len(a.schema), len(b.schema)
 	na, nb := a.Len(), b.Len()
-	rows := make([]int32, 0, len(a.rows))
-	vals := make([]T, 0, na)
-	i, j := 0, 0
-	for i < na && j < nb {
+	var rows []int32
+	var vals []T
+	divN := 0
+	if p >= 1 {
+		divN = na + nb
+	}
+	markDivisible(divN, func() {
+		rows, vals = semijoinMergeRange(a, b, p, 0, na, 0, nb)
+	})
+	return fromSorted(a.schema, rows, vals)
+}
+
+// semijoinMergeRange filters a[aLo:aHi) against b[bLo:bHi) on the shared
+// p-column prefix, returning the surviving rows in a's order — the
+// shared core of the sequential semijoin merge and of each chunk of its
+// range-split parallel twin.
+func semijoinMergeRange[T any](a, b *Relation[T], p, aLo, aHi, bLo, bHi int) ([]int32, []T) {
+	aAr, bAr := len(a.schema), len(b.schema)
+	rows := make([]int32, 0, (aHi-aLo)*aAr)
+	vals := make([]T, 0, aHi-aLo)
+	i, j := aLo, bLo
+	for i < aHi && j < bHi {
 		ra := a.rows[i*aAr:]
 		c := compareShared(ra, b.rows[j*bAr:], p)
 		if c < 0 {
-			i = gallopShared(a.rows, aAr, na, i+1, b.rows[j*bAr:], p)
+			i = gallopShared(a.rows, aAr, aHi, i+1, b.rows[j*bAr:], p)
 			continue
 		}
 		if c > 0 {
-			j = gallopShared(b.rows, bAr, nb, j+1, ra, p)
+			j = gallopShared(b.rows, bAr, bHi, j+1, ra, p)
 			continue
 		}
 		rows = append(rows, a.Tuple(i)...)
 		vals = append(vals, a.vals[i])
 		i++
 	}
-	return fromSorted(a.schema, rows, vals)
+	return rows, vals
 }
 
 func semijoinHash[T any](a, b *Relation[T], shared []int) *Relation[T] {
@@ -317,16 +376,22 @@ func semijoinHash[T any](a, b *Relation[T], shared []int) *Relation[T] {
 	out := &Relation[T]{schema: a.schema}
 
 	if len(shared) <= keys.MaxPacked {
-		seen := make(map[uint64]struct{}, b.Len())
-		for i := 0; i < b.Len(); i++ {
-			seen[keys.PackCols(b.Tuple(i), bCols)] = struct{}{}
+		divN := 0
+		if len(shared) >= 1 {
+			divN = a.Len() + b.Len() // semijoinHashParallel is the partitioned twin
 		}
-		for i := 0; i < a.Len(); i++ {
-			if _, ok := seen[keys.PackCols(a.Tuple(i), aCols)]; ok {
-				out.rows = append(out.rows, a.Tuple(i)...)
-				out.vals = append(out.vals, a.vals[i])
+		markDivisible(divN, func() {
+			seen := make(map[uint64]struct{}, b.Len())
+			for i := 0; i < b.Len(); i++ {
+				seen[keys.PackCols(b.Tuple(i), bCols)] = struct{}{}
 			}
-		}
+			for i := 0; i < a.Len(); i++ {
+				if _, ok := seen[keys.PackCols(a.Tuple(i), aCols)]; ok {
+					out.rows = append(out.rows, a.Tuple(i)...)
+					out.vals = append(out.vals, a.vals[i])
+				}
+			}
+		})
 		return out
 	}
 

@@ -62,6 +62,20 @@ func parallelParts(n int) int {
 	return w
 }
 
+// markDivisible brackets a sequential kernel region in exec.Divisible
+// when its input size n crosses the partition threshold — i.e. exactly
+// when a multi-worker run would have dispatched the region's partitioned
+// twin. Callers pass n = 0 for shapes that have no parallel twin. The
+// bracket feeds exec.ForestShaped's work/div accounting (the intra-node
+// partitioning model of exec.MakespanShaped); it never changes results.
+func markDivisible(n int, f func()) {
+	if n >= parallelMinTuples {
+		exec.Divisible(maxParts, f)
+		return
+	}
+	f()
+}
+
 // partitionByKey buckets tuple indices of r by keys.Chunk of the given
 // key columns, returning for each partition the ascending tuple indices
 // and, aligned with them, the tuples' packed keys (computed once here;
@@ -124,15 +138,10 @@ func joinHashParallel[T any](s semiring.Semiring[T], a, b *Relation[T], shared [
 	aPart, aKeys := partitionByKey(pool, a, aCols, parts)
 	bPart, bKeys := partitionByKey(pool, b, bCols, parts)
 
-	type chunkOut struct {
-		rows []int32
-		vals []T
-	}
-	outs := make([]chunkOut, parts)
-	pool.Map(parts, func(pi int) {
+	outRows, outVals := collectChunks[T](parts, len(outSchema), func(pi int) ([]int32, []T) {
 		ai, bi := aPart[pi], bPart[pi]
 		if len(ai) == 0 || len(bi) == 0 {
-			return
+			return nil, nil
 		}
 		// Index this partition's b-tuples: intrusive chains over bucket
 		// positions, built back-to-front so chains ascend in b order.
@@ -174,19 +183,216 @@ func joinHashParallel[T any](s semiring.Semiring[T], a, b *Relation[T], shared [
 				vals = append(vals, v)
 			}
 		}
-		outs[pi] = chunkOut{rows, vals}
+		return rows, vals
 	})
 
+	bld := NewBuilderHint(s, outSchema, len(outVals))
+	bld.rows = append(bld.rows, outRows...)
+	bld.vals = append(bld.vals, outVals...)
+	return bld.Build()
+}
+
+// mergeCuts picks the chunk boundaries of a range-split sorted merge
+// over the shared p-column prefix: parts−1 candidate keys sampled at
+// even positions of a, each mapped to its lower bound in both operands
+// (gallopShared from 0 is exactly that search). A cut is the first
+// occurrence of its key, so no key group straddles a chunk, and
+// matching groups land in the same chunk on both sides; cuts are
+// non-decreasing because the sampled keys are.
+func mergeCuts[T any](a, b *Relation[T], p, parts int) (aCut, bCut []int) {
+	na, nb := a.Len(), b.Len()
+	aAr, bAr := len(a.schema), len(b.schema)
+	aCut = make([]int, parts+1)
+	bCut = make([]int, parts+1)
+	for k := 1; k < parts; k++ {
+		pos := na * k / parts
+		key := a.rows[pos*aAr : pos*aAr+p]
+		aCut[k] = gallopShared(a.rows, aAr, na, 0, key, p)
+		bCut[k] = gallopShared(b.rows, bAr, nb, 0, key, p)
+	}
+	aCut[parts], bCut[parts] = na, nb
+	return aCut, bCut
+}
+
+// collectChunks runs gen(i) for every chunk on the pool and
+// concatenates the per-chunk outputs in chunk order — the shared
+// discipline of every partitioned operator: chunk order is the
+// sequential generation order, so concatenation reproduces the
+// sequential byte sequence.
+func collectChunks[T any](parts, width int, gen func(i int) ([]int32, []T)) ([]int32, []T) {
+	type chunkOut struct {
+		rows []int32
+		vals []T
+	}
+	outs := make([]chunkOut, parts)
+	exec.Default().Map(parts, func(i int) {
+		r, v := gen(i)
+		outs[i] = chunkOut{r, v}
+	})
 	total := 0
 	for _, o := range outs {
 		total += len(o.vals)
 	}
-	bld := NewBuilderHint(s, outSchema, total)
+	rows := make([]int32, 0, total*width)
+	vals := make([]T, 0, total)
 	for _, o := range outs {
-		bld.rows = append(bld.rows, o.rows...)
-		bld.vals = append(bld.vals, o.vals...)
+		rows = append(rows, o.rows...)
+		vals = append(vals, o.vals...)
 	}
-	return bld.Build()
+	return rows, vals
+}
+
+// joinMergeParallel is the range-split sorted-merge join (p ≥ 1 shared
+// prefix columns): chunk boundaries come from mergeCuts, each chunk runs
+// the sequential merge core over its row ranges on the pool, and chunk
+// outputs concatenate in chunk order — exactly the sequential generation
+// sequence (ascending shared key), so the ordered orientation emits the
+// final layout directly and the unordered one feeds the Builder's
+// ⊕-merge in the sequential duplicate order. Bit-identical either way.
+func joinMergeParallel[T any](s semiring.Semiring[T], a, b *Relation[T], p, parts int) *Relation[T] {
+	if a.Len() == 0 || b.Len() == 0 {
+		return joinMerge(s, a, b, p)
+	}
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	srcs := outputSrcs(outSchema, a.schema, b.schema)
+	aCut, bCut := mergeCuts(a, b, p, parts)
+	rows, vals := collectChunks[T](parts, len(outSchema), func(i int) ([]int32, []T) {
+		if aCut[i] == aCut[i+1] || bCut[i] == bCut[i+1] {
+			return nil, nil
+		}
+		return joinMergeRange(s, a, b, p, srcs, len(outSchema), aCut[i], aCut[i+1], bCut[i], bCut[i+1])
+	})
+	return mergeEmit(s, outSchema, restBefore(a.schema, b.schema, p), rows, vals)
+}
+
+// semijoinMergeParallel is the range-split twin of semijoinMerge: the
+// same mergeCuts boundaries, each chunk filtering its a-range against
+// its b-range; chunk outputs concatenate into a's global row order.
+func semijoinMergeParallel[T any](a, b *Relation[T], p, parts int) *Relation[T] {
+	if a.Len() == 0 || b.Len() == 0 {
+		return semijoinMerge(a, b, p)
+	}
+	aCut, bCut := mergeCuts(a, b, p, parts)
+	rows, vals := collectChunks[T](parts, len(a.schema), func(i int) ([]int32, []T) {
+		if aCut[i] == aCut[i+1] || bCut[i] == bCut[i+1] {
+			return nil, nil
+		}
+		return semijoinMergeRange(a, b, p, aCut[i], aCut[i+1], bCut[i], bCut[i+1])
+	})
+	return fromSorted(a.schema, rows, vals)
+}
+
+// semijoinHashParallel is semijoinHash partitioned on the shared-column
+// key (1 ≤ len(shared) ≤ keys.MaxPacked): b's key set is built as
+// per-partition sets in parallel, then contiguous blocks of a probe the
+// (read-only) sets and concatenate in block order — exactly the
+// sequential filter's output sequence, since a block's survivors keep
+// a's ascending row order.
+func semijoinHashParallel[T any](a, b *Relation[T], shared []int, parts int) *Relation[T] {
+	aCols, _ := columnsOf(a.schema, shared)
+	bCols, _ := columnsOf(b.schema, shared)
+	pool := exec.Default()
+	nc := len(shared)
+
+	bPart, bKeys := partitionByKey(pool, b, bCols, parts)
+	sets := make([]map[uint64]struct{}, parts)
+	pool.Map(parts, func(pi int) {
+		if len(bPart[pi]) == 0 {
+			return
+		}
+		m := make(map[uint64]struct{}, len(bPart[pi]))
+		for _, k := range bKeys[pi] {
+			m[k] = struct{}{}
+		}
+		sets[pi] = m
+	})
+
+	na := a.Len()
+	rows, vals := collectChunks[T](parts, len(a.schema), func(bi int) ([]int32, []T) {
+		lo, hi := na*bi/parts, na*(bi+1)/parts
+		var rows []int32
+		var vals []T
+		for i := lo; i < hi; i++ {
+			k := keys.PackCols(a.Tuple(i), aCols)
+			set := sets[keys.Chunk(k, nc, parts)]
+			if set == nil {
+				continue
+			}
+			if _, ok := set[k]; ok {
+				rows = append(rows, a.Tuple(i)...)
+				vals = append(vals, a.vals[i])
+			}
+		}
+		return rows, vals
+	})
+	return &Relation[T]{schema: a.schema, rows: rows, vals: vals}
+}
+
+// parallelSortFunc sorts s by cmp with concurrent sub-sorts followed by
+// rounds of pairwise parallel merges (ping-pong between s and one
+// scratch buffer). cmp must induce a strict total order — the Builder
+// comparators tiebreak on input index — so the sorted permutation is
+// unique and the result is bit-identical to a sequential slices.SortFunc.
+func parallelSortFunc[E any](s []E, cmp func(a, b E) int, parts int) {
+	n := len(s)
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		slices.SortFunc(s, cmp)
+		return
+	}
+	pool := exec.Default()
+	bounds := make([]int, parts+1)
+	for i := range bounds {
+		bounds[i] = n * i / parts
+	}
+	pool.Map(parts, func(i int) {
+		slices.SortFunc(s[bounds[i]:bounds[i+1]], cmp)
+	})
+	buf := make([]E, n)
+	src, dst := s, buf
+	for len(bounds) > 2 {
+		nseg := len(bounds) - 1
+		pool.Map(nseg/2, func(i int) {
+			lo, mid, hi := bounds[2*i], bounds[2*i+1], bounds[2*i+2]
+			mergeSorted(dst[lo:hi], src[lo:mid], src[mid:hi], cmp)
+		})
+		if nseg%2 == 1 { // odd segment out: carry it to the next round
+			copy(dst[bounds[nseg-1]:bounds[nseg]], src[bounds[nseg-1]:bounds[nseg]])
+		}
+		nb := bounds[:0:0]
+		for i := 0; i < len(bounds); i += 2 {
+			nb = append(nb, bounds[i])
+		}
+		if nb[len(nb)-1] != n {
+			nb = append(nb, n)
+		}
+		bounds = nb
+		src, dst = dst, src
+	}
+	if n > 0 && &src[0] != &s[0] {
+		copy(s, src)
+	}
+}
+
+// mergeSorted merges two sorted runs into out (len(out) = len(a)+len(b)),
+// taking from a on ties — immaterial under a strict total order but kept
+// for stability.
+func mergeSorted[E any](out, a, b []E, cmp func(x, y E) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
 }
 
 // eliminatePackedParallel is EliminateVar's packed grouping pass

@@ -1,0 +1,321 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/semiring"
+)
+
+// Randomized parallel≡sequential equivalence harness.
+//
+// Every parallel kernel in this package has a sequential twin, and the
+// exec-layer contract says the pair must be BIT-identical — same schema,
+// same row buffer, same value bytes — at every worker count, partition
+// count, and input shape. This file is the reusable harness enforcing
+// that: a grid of adversarial key distributions (duplicate-heavy,
+// all-equal, one giant group, alternating runs, skewed) × input sizes
+// (including empty and singleton) × semirings (Boolean, counting,
+// sum-product over floats — whose non-associativity under reordering
+// makes bit-identity equivalent to "the parallel path preserved the
+// exact sequential ⊕-order" — and min-plus) × partition counts, driven
+// through each kernel pair directly plus through the public dispatchers
+// at exec.SetWorkers 1/2/8. `make test-workers` re-runs the whole suite
+// under those worker counts process-wide (FAQ_WORKERS).
+
+// keyDist generates the shared-key column values that decide group
+// boundaries — the axis parallel range-splitting can get wrong.
+type keyDist struct {
+	name string
+	key  func(r *rand.Rand, i, n int) int
+}
+
+var keyDists = []keyDist{
+	{"uniform-dense", func(r *rand.Rand, i, n int) int { return r.Intn(8) }},
+	{"uniform-sparse", func(r *rand.Rand, i, n int) int { return r.Intn(4*n + 8) }},
+	{"all-equal", func(r *rand.Rand, i, n int) int { return 7 }},
+	{"one-giant-group", func(r *rand.Rand, i, n int) int {
+		if r.Intn(10) > 0 {
+			return 3
+		}
+		return 100 + r.Intn(50)
+	}},
+	{"alternating-runs", func(r *rand.Rand, i, n int) int {
+		if i%2 == 0 {
+			return 1
+		}
+		return 2 + i%29
+	}},
+	{"zipf-skew", func(r *rand.Rand, i, n int) int { return r.Intn(1 << uint(1+r.Intn(9))) }},
+	{"sorted-blocks", func(r *rand.Rand, i, n int) int { return i / 4 }},
+}
+
+// propSizes includes the empty and singleton edge cases alongside sizes
+// that produce multiple non-trivial chunks at every partition count.
+var propSizes = []int{0, 1, 2, 7, 63, 200}
+
+var propParts = []int{2, 3, 8}
+
+// randRelDist builds a relation whose first p columns (the shared join
+// prefix) follow dist and whose remaining columns are dense uniform (to
+// breed duplicate tuples for the Builder's ⊕-merge).
+func randRelDist[T any](s semiring.Semiring[T], r *rand.Rand, schema []int, n, p int,
+	dist keyDist, val func(*rand.Rand) T) *Relation[T] {
+	b := NewBuilder(s, schema)
+	tuple := make([]int, len(schema))
+	for i := 0; i < n; i++ {
+		for j := range tuple {
+			if j < p {
+				tuple[j] = dist.key(r, i, n)
+			} else {
+				tuple[j] = r.Intn(6)
+			}
+		}
+		b.Add(tuple, val(r))
+	}
+	return b.Build()
+}
+
+// mergePairs are the schema shapes dispatching to the sorted-merge path:
+// ordered emission, unordered (Builder) emission, and a 2-column prefix.
+var mergePairs = []struct {
+	name string
+	a, b []int
+	p    int
+}{
+	{"ordered-p1", []int{0, 1}, []int{0, 2}, 1},
+	{"unordered-p1", []int{0, 3}, []int{0, 2}, 1},
+	{"ordered-p2", []int{0, 1, 2}, []int{0, 1, 3}, 2},
+	{"contained-p1", []int{0, 1}, []int{0}, 1},
+}
+
+// hashPairs dispatch to the packed-key hash path (shared non-prefix).
+var hashPairs = []struct {
+	name string
+	a, b []int
+}{
+	{"hash-1shared", []int{0, 1}, []int{1, 2}},
+	{"hash-2shared", []int{0, 2, 3}, []int{1, 2, 3}},
+	{"hash-contained", []int{0, 1, 2}, []int{2}},
+}
+
+func checkParallelEquivalence[T comparable](t *testing.T, s semiring.Semiring[T], val func(*rand.Rand) T, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for _, dist := range keyDists {
+		for _, na := range propSizes {
+			nb := propSizes[r.Intn(len(propSizes))]
+			for _, pair := range mergePairs {
+				a := randRelDist(s, r, pair.a, na, pair.p, dist, val)
+				b := randRelDist(s, r, pair.b, nb, pair.p, dist, val)
+				jWant := joinMerge(s, a, b, pair.p)
+				sjWant := semijoinMerge(a, b, pair.p)
+				for _, parts := range propParts {
+					if got := joinMergeParallel(s, a, b, pair.p, parts); !bitIdentical(got, jWant) {
+						t.Fatalf("%s/%s na=%d nb=%d parts=%d: parallel merge join not bit-identical\n got=%v\nwant=%v",
+							dist.name, pair.name, na, nb, parts, got, jWant)
+					}
+					if got := semijoinMergeParallel(a, b, pair.p, parts); !bitIdentical(got, sjWant) {
+						t.Fatalf("%s/%s na=%d nb=%d parts=%d: parallel merge semijoin not bit-identical",
+							dist.name, pair.name, na, nb, parts)
+					}
+				}
+			}
+			for _, pair := range hashPairs {
+				a := randRelDist(s, r, pair.a, na, 1, dist, val)
+				b := randRelDist(s, r, pair.b, nb, 1, dist, val)
+				shared := sharedVars(a, b)
+				sjWant := semijoinHash(a, b, shared)
+				jWant := joinHash(s, a, b, shared)
+				for _, parts := range propParts {
+					if got := semijoinHashParallel(a, b, shared, parts); !bitIdentical(got, sjWant) {
+						t.Fatalf("%s/%s na=%d nb=%d parts=%d: parallel hash semijoin not bit-identical",
+							dist.name, pair.name, na, nb, parts)
+					}
+					if got := joinHashParallel(s, a, b, shared, parts); !bitIdentical(got, jWant) {
+						t.Fatalf("%s/%s na=%d nb=%d parts=%d: parallel hash join not bit-identical",
+							dist.name, pair.name, na, nb, parts)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sharedVars[T any](a, b *Relation[T]) []int {
+	var shared []int
+	for _, v := range a.schema {
+		if slices.Contains(b.schema, v) {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+func TestParallelKernelEquivalenceBool(t *testing.T) {
+	checkParallelEquivalence[bool](t, semiring.Bool{}, func(r *rand.Rand) bool { return r.Intn(4) > 0 }, 301)
+}
+
+func TestParallelKernelEquivalenceCount(t *testing.T) {
+	// Values in {-1..3} exercise zero-drop inside duplicate groups.
+	checkParallelEquivalence[int64](t, semiring.Count{}, func(r *rand.Rand) int64 { return int64(r.Intn(5)) - 1 }, 302)
+}
+
+func TestParallelKernelEquivalenceSumProduct(t *testing.T) {
+	// Floats make bit-identity demand the exact sequential ⊕-order.
+	checkParallelEquivalence[float64](t, semiring.SumProduct{}, func(r *rand.Rand) float64 { return r.Float64() }, 303)
+}
+
+func TestParallelKernelEquivalenceMinPlus(t *testing.T) {
+	checkParallelEquivalence[float64](t, semiring.MinPlus{}, func(r *rand.Rand) float64 { return float64(r.Intn(40)) / 8 }, 304)
+}
+
+// TestParallelSortFuncMatchesSequential drives the Builder's concurrent
+// sub-sort + pairwise-merge path directly against slices.SortFunc on the
+// same strict total order, across the distribution grid and partition
+// counts (including parts > len).
+func TestParallelSortFuncMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(305))
+	cmp := func(p, q packedRow) int {
+		if p.key != q.key {
+			if p.key < q.key {
+				return -1
+			}
+			return 1
+		}
+		return int(p.idx) - int(q.idx)
+	}
+	for _, dist := range keyDists {
+		for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+			pr := make([]packedRow, n)
+			for i := range pr {
+				pr[i] = packedRow{key: uint64(dist.key(r, i, n)), idx: int32(i)}
+			}
+			want := slices.Clone(pr)
+			slices.SortFunc(want, cmp)
+			for _, parts := range []int{2, 3, 7, 64, n + 1} {
+				got := slices.Clone(pr)
+				parallelSortFunc(got, cmp, parts)
+				if !slices.Equal(got, want) {
+					t.Fatalf("%s n=%d parts=%d: parallel sort != sequential sort", dist.name, n, parts)
+				}
+			}
+		}
+	}
+}
+
+// TestPublicDispatchWorkerSweep crosses the engage threshold through the
+// public Join/Semijoin/Build entry points and pins bit-identity across
+// worker counts 1/2/8 for every dispatch shape: merge join (ordered and
+// unordered), merge semijoin, hash join, hash semijoin, and Builder.Build.
+func TestPublicDispatchWorkerSweep(t *testing.T) {
+	s := semiring.SumProduct{}
+	r := rand.New(rand.NewSource(306))
+	val := func(r *rand.Rand) float64 { return r.Float64() }
+	n := parallelMinTuples // a.Len()+b.Len() crosses the threshold
+	giant := keyDists[3]   // one-giant-group: the worst case for range cuts
+
+	type op struct {
+		name string
+		run  func() *Relation[float64]
+	}
+	aOrd := randRelDist(s, r, []int{0, 1}, n, 1, giant, val)
+	bOrd := randRelDist(s, r, []int{0, 2}, n, 1, giant, val)
+	aUno := randRelDist(s, r, []int{0, 3}, n, 1, giant, val)
+	aHash := randRelDist(s, r, []int{0, 1}, n, 1, giant, val)
+	bHash := randRelDist(s, r, []int{1, 2}, n, 1, giant, val)
+	ops := []op{
+		{"Join/merge-ordered", func() *Relation[float64] { return Join(s, aOrd, bOrd) }},
+		{"Join/merge-unordered", func() *Relation[float64] { return Join(s, aUno, bOrd) }},
+		{"Semijoin/merge", func() *Relation[float64] { return Semijoin(s, aOrd, bOrd) }},
+		{"Join/hash", func() *Relation[float64] { return Join(s, aHash, bHash) }},
+		{"Semijoin/hash", func() *Relation[float64] { return Semijoin(s, aHash, bHash) }},
+		{"Build", func() *Relation[float64] {
+			rr := rand.New(rand.NewSource(307))
+			b := NewBuilderHint[float64](s, []int{0, 1}, n)
+			for i := 0; i < n; i++ {
+				b.Add([]int{giant.key(rr, i, n), rr.Intn(64)}, val(rr))
+			}
+			return b.Build()
+		}},
+	}
+	for _, o := range ops {
+		prev := exec.SetWorkers(1)
+		want := o.run()
+		var got2, got8 *Relation[float64]
+		exec.SetWorkers(2)
+		got2 = o.run()
+		exec.SetWorkers(8)
+		got8 = o.run()
+		exec.SetWorkers(prev)
+		if want.Len() == 0 {
+			t.Fatalf("%s: degenerate test, empty output", o.name)
+		}
+		if !bitIdentical(got2, want) || !bitIdentical(got8, want) {
+			t.Fatalf("%s: multi-worker output not bit-identical to 1-worker", o.name)
+		}
+	}
+}
+
+// FuzzJoinMergeParallel seeds adversarial packed-key layouts — all-equal
+// keys, one giant group, alternating runs — and asserts that the
+// range-split parallel merge join and semijoin produce byte-identical
+// output to their sequential twins at every partition count, in both the
+// ordered and the Builder (unordered) orientation.
+func FuzzJoinMergeParallel(f *testing.F) {
+	f.Add([]byte{3}, bytes.Repeat([]byte{5, 1}, 40))         // all-equal keys: one giant group on both sides
+	f.Add([]byte{7}, bytes.Repeat([]byte{9, 2}, 50))         // all-equal at a different parts count
+	giant := append(bytes.Repeat([]byte{3, 0}, 45), 200, 1, 201, 2, 202, 3) // one giant group plus outliers
+	f.Add([]byte{5}, giant)
+	alt := make([]byte, 96) // alternating runs: key flips 1/17 every tuple
+	for i := 0; i < len(alt); i += 2 {
+		if i%4 == 0 {
+			alt[i] = 1
+		} else {
+			alt[i] = 17
+		}
+		alt[i+1] = byte(i)
+	}
+	f.Add([]byte{2}, alt)
+	f.Add([]byte{6}, []byte{}) // empty operands
+	f.Add([]byte{4}, []byte{8, 1})
+
+	f.Fuzz(func(t *testing.T, cfg, data []byte) {
+		parts := 2
+		if len(cfg) > 0 {
+			parts = 2 + int(cfg[0])%7
+		}
+		s := semiring.Count{}
+		ba := NewBuilder[int64](s, []int{0, 1}) // ordered orientation vs b
+		bu := NewBuilder[int64](s, []int{0, 3}) // unordered orientation vs b
+		bb := NewBuilder[int64](s, []int{0, 2})
+		for i := 0; i+1 < len(data); i += 2 {
+			key, payload := int(data[i])%16, int(data[i+1])%8
+			v := int64(data[i+1]%3) - 1 // {-1,0,1}: exercises zero-drop
+			switch (i / 2) % 3 {
+			case 0:
+				ba.Add([]int{key, payload}, v)
+			case 1:
+				bb.Add([]int{key, payload}, v)
+			case 2:
+				bu.Add([]int{key, payload}, v)
+			}
+		}
+		a, u, b := ba.Build(), bu.Build(), bb.Build()
+
+		for _, pc := range []int{2, parts, 64} {
+			if got, want := joinMergeParallel(s, a, b, 1, pc), joinMerge(s, a, b, 1); !bitIdentical(got, want) {
+				t.Fatalf("parts=%d: ordered parallel merge join != sequential\n got=%v\nwant=%v", pc, got, want)
+			}
+			if got, want := joinMergeParallel(s, u, b, 1, pc), joinMerge(s, u, b, 1); !bitIdentical(got, want) {
+				t.Fatalf("parts=%d: unordered parallel merge join != sequential", pc)
+			}
+			if got, want := semijoinMergeParallel(a, b, 1, pc), semijoinMerge(a, b, 1); !bitIdentical(got, want) {
+				t.Fatalf("parts=%d: parallel merge semijoin != sequential", pc)
+			}
+		}
+	})
+}

@@ -201,7 +201,7 @@ func (b *Builder[T]) buildPacked() *Relation[T] {
 			pr[i] = packedRow{keys.Pack2(b.rows[2*i], b.rows[2*i+1]), int32(i)}
 		}
 	}
-	slices.SortFunc(pr, func(p, q packedRow) int {
+	cmp := func(p, q packedRow) int {
 		if p.key != q.key {
 			if p.key < q.key {
 				return -1
@@ -209,7 +209,15 @@ func (b *Builder[T]) buildPacked() *Relation[T] {
 			return 1
 		}
 		return int(p.idx) - int(q.idx)
-	})
+	}
+	// Sorting by (key, idx) is a strict total order, so the sorted
+	// permutation is unique: the concurrent sub-sort + k-way merge path
+	// is bit-identical to the sequential sort by construction.
+	if parts := parallelParts(n); parts > 1 {
+		parallelSortFunc(pr, cmp, parts)
+	} else {
+		markDivisible(n, func() { slices.SortFunc(pr, cmp) })
+	}
 	rows := make([]int32, 0, n*a)
 	vals := make([]T, 0, n)
 	for i := 0; i < n; {
@@ -241,7 +249,7 @@ func (b *Builder[T]) buildGeneric() *Relation[T] {
 		idx[i] = int32(i)
 	}
 	all := b.rows
-	slices.SortFunc(idx, func(x, y int32) int {
+	cmp := func(x, y int32) int {
 		rx := all[int(x)*a : int(x)*a+a]
 		ry := all[int(y)*a : int(y)*a+a]
 		for k := 0; k < a; k++ {
@@ -253,7 +261,12 @@ func (b *Builder[T]) buildGeneric() *Relation[T] {
 			}
 		}
 		return int(x) - int(y)
-	})
+	}
+	if parts := parallelParts(n); parts > 1 {
+		parallelSortFunc(idx, cmp, parts)
+	} else {
+		markDivisible(n, func() { slices.SortFunc(idx, cmp) })
+	}
 	rowEq := func(x, y int32) bool {
 		rx := all[int(x)*a : int(x)*a+a]
 		ry := all[int(y)*a : int(y)*a+a]
@@ -428,49 +441,58 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 		if parts := parallelParts(n); parts > 1 && p >= 1 {
 			return eliminatePackedParallel(s, r, rest, restCols, op, domSize, parts), nil
 		}
-		// Group on a packed key; packed order is lexicographic order, so
-		// sorting the groups by key yields the output layout directly.
-		groupOf := make(map[uint64]int32, n)
-		var gkeys []uint64
-		var gvals []T
-		var gcounts []int32
-		for i := 0; i < n; i++ {
-			k := keys.PackCols(r.Tuple(i), restCols)
-			g, ok := groupOf[k]
-			if !ok {
-				g = int32(len(gkeys))
-				groupOf[k] = g
-				gkeys = append(gkeys, k)
-				gvals = append(gvals, op.Identity())
-				gcounts = append(gcounts, 0)
-			}
-			gvals[g] = op.Combine(gvals[g], r.vals[i])
-			gcounts[g]++
+		divN := 0
+		if p >= 1 {
+			divN = n // eliminatePackedParallel is the partitioned twin
 		}
-		order := make([]int32, len(gkeys))
-		for i := range order {
-			order[i] = int32(i)
-		}
-		sortByKey(order, gkeys)
-		rows := make([]int32, 0, len(gkeys)*p)
-		vals := make([]T, 0, len(gkeys))
-		for _, g := range order {
-			if op.IsProduct() && int(gcounts[g]) < domSize {
-				continue // an unlisted zero annihilates the product aggregate
+		var out *Relation[T]
+		markDivisible(divN, func() {
+			// Group on a packed key; packed order is lexicographic order,
+			// so sorting the groups by key yields the output layout
+			// directly.
+			groupOf := make(map[uint64]int32, n)
+			var gkeys []uint64
+			var gvals []T
+			var gcounts []int32
+			for i := 0; i < n; i++ {
+				k := keys.PackCols(r.Tuple(i), restCols)
+				g, ok := groupOf[k]
+				if !ok {
+					g = int32(len(gkeys))
+					groupOf[k] = g
+					gkeys = append(gkeys, k)
+					gvals = append(gvals, op.Identity())
+					gcounts = append(gcounts, 0)
+				}
+				gvals[g] = op.Combine(gvals[g], r.vals[i])
+				gcounts[g]++
 			}
-			if s.IsZero(gvals[g]) {
-				continue
+			order := make([]int32, len(gkeys))
+			for i := range order {
+				order[i] = int32(i)
 			}
-			switch p {
-			case 1:
-				rows = append(rows, keys.Unpack1(gkeys[g]))
-			case 2:
-				x, y := keys.Unpack2(gkeys[g])
-				rows = append(rows, x, y)
+			sortByKey(order, gkeys)
+			rows := make([]int32, 0, len(gkeys)*p)
+			vals := make([]T, 0, len(gkeys))
+			for _, g := range order {
+				if op.IsProduct() && int(gcounts[g]) < domSize {
+					continue // an unlisted zero annihilates the product aggregate
+				}
+				if s.IsZero(gvals[g]) {
+					continue
+				}
+				switch p {
+				case 1:
+					rows = append(rows, keys.Unpack1(gkeys[g]))
+				case 2:
+					x, y := keys.Unpack2(gkeys[g])
+					rows = append(rows, x, y)
+				}
+				vals = append(vals, gvals[g])
 			}
-			vals = append(vals, gvals[g])
-		}
-		return fromSorted(rest, rows, vals), nil
+			out = fromSorted(rest, rows, vals)
+		})
+		return out, nil
 	}
 
 	// Arbitrary-arity fallback (> MaxPacked remaining columns): string
