@@ -18,15 +18,22 @@
 #                 with the default pool pinned at 1, 2, and 8 workers
 #                 (FAQ_WORKERS, read by internal/exec at init), so every
 #                 public dispatch path is exercised at each width
+#   make bench-service — query-service throughput → BENCH_service.json
+#                 (faqload mixed-shape workload: cold-plan vs warm-cache
+#                 throughput and p50/p99 latency per worker count; every
+#                 answer verified against per-request planning)
+#   make smoke-service — tiny-n end-to-end smoke of faqd + faqload over
+#                 HTTP (wired into CI)
 
 GO        ?= go
 BENCHTIME ?= 0.5s
 FUZZTIME  ?= 30s
+SMOKEADDR ?= 127.0.0.1:18080
 
 # The packages holding the parallel≡sequential equivalence suites.
-WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/
+WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/
 
-.PHONY: build test vet race check bench bench-parallel bench-all fuzz test-workers
+.PHONY: build test vet race check bench bench-parallel bench-all fuzz test-workers bench-service smoke-service
 
 build:
 	$(GO) build ./...
@@ -61,3 +68,20 @@ test-workers:
 fuzz:
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzJoinMergeParallel -fuzztime=$(FUZZTIME)
+
+bench-service:
+	$(GO) run ./cmd/faqload -out BENCH_service.json
+
+smoke-service:
+	$(GO) build -o /tmp/faqd-smoke ./cmd/faqd
+	$(GO) build -o /tmp/faqload-smoke ./cmd/faqload
+	@/tmp/faqd-smoke -addr $(SMOKEADDR) -cache 64 & \
+	FAQD_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(SMOKEADDR)/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	/tmp/faqload-smoke -url http://$(SMOKEADDR) -requests 6 -n 128; \
+	STATUS=$$?; \
+	kill $$FAQD_PID 2>/dev/null; \
+	exit $$STATUS

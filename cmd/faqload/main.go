@@ -1,0 +1,525 @@
+// Command faqload is the deterministic load generator for the query
+// service layer: it drives a mixed-shape Count-semiring workload —
+// several query templates, each request a freshly renamed variant with
+// fresh factor data — through the in-process service (or, with -url, a
+// running faqd over HTTP), measures cold-plan vs warm-cache throughput
+// and latency percentiles across worker counts, verifies every answer
+// bit-identical to a direct per-request faq.Solve (and spot-checks the
+// distributed protocol.Run per template), and writes BENCH_service.json.
+//
+// Cold-plan means the plan cache is dropped before every request, so each
+// request pays canonicalization + ghd.Minimize + re-rooting; warm-cache
+// compiles each template once and binds thereafter. All randomness is
+// seeded: the same flags reproduce the same requests byte for byte.
+//
+// Usage:
+//
+//	faqload -out BENCH_service.json -requests 40 -n 512 -workers 1,2,4,8
+//	faqload -url http://127.0.0.1:8080 -requests 6 -n 128   # smoke a faqd
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/service"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// templates are the mixed query shapes: a long path (whose exhaustive
+// width search makes cold planning expensive), a symmetric star, a
+// balanced binary tree, and a cyclic triangle with a pendant edge. Free
+// variables sit in a coverable bag, so every shape takes the GHD path.
+var templates = []struct {
+	name string
+	spec string
+	free string
+}{
+	{"path7", "A0,A1;A1,A2;A2,A3;A3,A4;A4,A5;A5,A6;A6,A7", "A0"},
+	{"star6", "C,B1;C,B2;C,B3;C,B4;C,B5;C,B6", "C"},
+	{"tree6", "R,L;R,T;L,LL;L,LR;T,TL;T,TR", "R"},
+	{"tri-pendant", "A,B;B,C;A,C;C,D", "C"},
+}
+
+type phaseStats struct {
+	Requests      int     `json:"requests"`
+	WallNS        int64   `json:"wall_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	Compiles      int     `json:"compiles"`
+	CacheHits     int     `json:"cache_hits"`
+}
+
+type workerPoint struct {
+	Workers      int        `json:"workers"`
+	Cold         phaseStats `json:"cold"`
+	Warm         phaseStats `json:"warm"`
+	WarmBatch    phaseStats `json:"warm_batch"`
+	Speedup      float64    `json:"speedup_warm_over_cold"`
+	BitIdentical bool       `json:"bit_identical"`
+}
+
+type benchReport struct {
+	HostCPUs         int           `json:"host_cpus"`
+	GoMaxProcs       int           `json:"gomaxprocs"`
+	N                int           `json:"n"`
+	Dom              int           `json:"dom"`
+	RequestsPerPhase int           `json:"requests_per_phase"`
+	Templates        []string      `json:"templates"`
+	Methodology      string        `json:"methodology"`
+	Points           []workerPoint `json:"points"`
+	MinSpeedup       float64       `json:"min_speedup"`
+	ProtocolChecked  bool          `json:"protocol_checked"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_service.json", "output artifact path")
+	requests := flag.Int("requests", 40, "requests per phase")
+	n := flag.Int("n", 512, "tuples per factor")
+	dom := flag.Int("dom", 0, "domain size (0 = n)")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	seed := flag.Int64("seed", 1, "random seed")
+	url := flag.String("url", "", "drive a running faqd over HTTP instead of in-process (smoke mode)")
+	checkProto := flag.Bool("verify-protocol", true, "spot-check answers against protocol.Run per template")
+	flag.Parse()
+	if err := run(*out, *requests, *n, *dom, *workers, *seed, *url, *checkProto); err != nil {
+		fmt.Fprintf(os.Stderr, "faqload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// request is one generated workload item: a renamed template instance
+// with fresh factor data.
+type request struct {
+	template int
+	q        *faq.Query[int64]
+}
+
+// genRequest builds request i deterministically: template round-robin, a
+// seeded variable-id permutation (exercising fingerprint invariance), and
+// seeded Count factors with values in {1,2,3}.
+func genRequest(hs []*hypergraph.Hypergraph, frees [][]int, i, n, dom int, seed int64) request {
+	ti := i % len(hs)
+	base, baseFree := hs[ti], frees[ti]
+	r := rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
+	perm := r.Perm(base.NumVertices())
+	h := hypergraph.New(base.NumVertices())
+	for _, vs := range base.Edges() {
+		nv := make([]int, len(vs))
+		for k, v := range vs {
+			nv[k] = perm[v]
+		}
+		h.AddEdge(nv...)
+	}
+	free := make([]int, len(baseFree))
+	for k, v := range baseFree {
+		free[k] = perm[v]
+	}
+	sort.Ints(free)
+	s := semiring.Count{}
+	factors := make([]*relation.Relation[int64], h.NumEdges())
+	for e := range factors {
+		b := relation.NewBuilderHint[int64](s, h.Edge(e), n)
+		tuple := make([]int, len(h.Edge(e)))
+		for t := 0; t < n; t++ {
+			for j := range tuple {
+				tuple[j] = r.Intn(dom)
+			}
+			b.Add(tuple, int64(1+r.Intn(3)))
+		}
+		factors[e] = b.Build()
+	}
+	return request{template: ti, q: &faq.Query[int64]{S: s, H: h, Factors: factors, Free: free, DomSize: dom}}
+}
+
+// bitIdentical: for the exact Count semiring, relation.Equal's
+// schema/rows/values comparison is exactly layout identity (the repo's
+// determinism invariant keeps equal relations byte-identical).
+func bitIdentical(a, b *relation.Relation[int64]) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return relation.Equal[int64](semiring.Count{}, a, b)
+}
+
+// percentile is the nearest-rank estimator: the smallest sample with at
+// least a q fraction of the distribution at or below it (a floor index
+// would systematically understate the tail at small sample counts).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func summarize(lats []int64, infos []service.Info) phaseStats {
+	st := phaseStats{Requests: len(lats)}
+	for _, l := range lats {
+		st.WallNS += l
+	}
+	for _, inf := range infos {
+		if inf.CacheHit {
+			st.CacheHits++
+		} else {
+			st.Compiles++
+		}
+	}
+	if st.WallNS > 0 {
+		st.ThroughputRPS = float64(st.Requests) / (float64(st.WallNS) / 1e9)
+	}
+	sorted := append([]int64(nil), lats...)
+	slices.Sort(sorted)
+	st.P50NS = percentile(sorted, 0.50)
+	st.P99NS = percentile(sorted, 0.99)
+	return st
+}
+
+func run(out string, requests, n, dom int, workerSpec string, seed int64, url string, checkProto bool) error {
+	if dom <= 0 {
+		dom = n
+	}
+	var workerCounts []int
+	for _, w := range strings.Split(workerSpec, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || k < 1 {
+			return fmt.Errorf("bad -workers entry %q", w)
+		}
+		workerCounts = append(workerCounts, k)
+	}
+	hs := make([]*hypergraph.Hypergraph, len(templates))
+	frees := make([][]int, len(templates))
+	for i, tpl := range templates {
+		h, err := cli.ParseQuery(tpl.spec)
+		if err != nil {
+			return fmt.Errorf("template %s: %w", tpl.name, err)
+		}
+		hs[i] = h
+		// Resolve the free name through a throwaway builder-equivalent
+		// parse: vertex ids follow first-use order of the spec.
+		id := -1
+		for v := 0; v < h.NumVertices(); v++ {
+			if h.VertexName(v) == tpl.free {
+				id = v
+			}
+		}
+		if id < 0 {
+			return fmt.Errorf("template %s: free %q not found", tpl.name, tpl.free)
+		}
+		frees[i] = []int{id}
+	}
+
+	if url != "" {
+		return runRemote(url, requests, n, dom, seed, hs, frees)
+	}
+
+	rep := benchReport{
+		HostCPUs:         runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		N:                n,
+		Dom:              dom,
+		RequestsPerPhase: requests,
+		Methodology: "Mixed-shape Count workload; every request is a seeded variable-renaming of one of the " +
+			"templates with fresh factor data. cold: plan cache dropped before each request (every request " +
+			"pays canonicalize + ghd.Minimize + re-root). warm: one unmeasured warmup per template, then " +
+			"cached plans bind to fresh data. warm_batch: the same warm requests through Service.SolveBatch " +
+			"(grouped by plan, executed across the pool). Latency = Service.Solve wall clock in-process; " +
+			"verification (excluded from timing) checks every answer bit-identical to per-request faq.Solve " +
+			"and, once per template per worker count, to the distributed protocol.Run on a clique:4.",
+		ProtocolChecked: checkProto,
+	}
+	for _, tpl := range templates {
+		rep.Templates = append(rep.Templates, tpl.name)
+	}
+
+	minSpeedup := 0.0
+	reqIdx := 0
+	for _, w := range workerCounts {
+		prev := exec.SetWorkers(w)
+		pt := workerPoint{Workers: w, BitIdentical: true}
+		cache := plan.NewCache(plan.DefaultCacheSize)
+		sv := service.New[int64](semiring.Count{}, "count", cache)
+		ctx := context.Background()
+
+		verifyReq := func(r request, got *relation.Relation[int64], protoDone map[int]bool) error {
+			want, err := faq.Solve(r.q)
+			if err != nil {
+				return err
+			}
+			if !bitIdentical(got, want) {
+				pt.BitIdentical = false
+				return fmt.Errorf("workers=%d template=%s: answer not bit-identical to faq.Solve", w, templates[r.template].name)
+			}
+			if checkProto && protoDone != nil && !protoDone[r.template] {
+				protoDone[r.template] = true
+				g := topology.Clique(4)
+				assign := workload.RoundRobinAssignment(r.q.H.NumEdges(), []int{0, 1, 2, 3})
+				setup := &protocol.Setup[int64]{Q: r.q, G: g, Assign: assign, Output: 0}
+				pAns, _, err := protocol.Run(setup)
+				if err != nil {
+					return fmt.Errorf("protocol.Run: %w", err)
+				}
+				if !bitIdentical(pAns, want) {
+					pt.BitIdentical = false
+					return fmt.Errorf("workers=%d template=%s: protocol.Run answer differs", w, templates[r.template].name)
+				}
+			}
+			return nil
+		}
+
+		// Cold phase: drop the cache before every request.
+		coldLats := make([]int64, 0, requests)
+		coldInfos := make([]service.Info, 0, requests)
+		protoDone := map[int]bool{}
+		for i := 0; i < requests; i++ {
+			r := genRequest(hs, frees, reqIdx, n, dom, seed)
+			reqIdx++
+			cache.Reset()
+			t0 := time.Now()
+			ans, info, err := sv.Solve(ctx, r.q)
+			lat := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("cold solve: %w", err)
+			}
+			coldLats = append(coldLats, lat)
+			coldInfos = append(coldInfos, info)
+			if err := verifyReq(r, ans, protoDone); err != nil {
+				return err
+			}
+		}
+		pt.Cold = summarize(coldLats, coldInfos)
+
+		// Warm phase: one unmeasured warmup per template, then measure.
+		cache.Reset()
+		var warmReqs []request
+		for i := 0; i < len(templates); i++ {
+			r := genRequest(hs, frees, reqIdx, n, dom, seed)
+			reqIdx++
+			if _, _, err := sv.Solve(ctx, r.q); err != nil {
+				return fmt.Errorf("warmup: %w", err)
+			}
+		}
+		warmLats := make([]int64, 0, requests)
+		warmInfos := make([]service.Info, 0, requests)
+		for i := 0; i < requests; i++ {
+			r := genRequest(hs, frees, reqIdx, n, dom, seed)
+			reqIdx++
+			t0 := time.Now()
+			ans, info, err := sv.Solve(ctx, r.q)
+			lat := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("warm solve: %w", err)
+			}
+			warmLats = append(warmLats, lat)
+			warmInfos = append(warmInfos, info)
+			warmReqs = append(warmReqs, r)
+			if err := verifyReq(r, ans, nil); err != nil { // protocol already spot-checked in the cold phase
+				return err
+			}
+		}
+		pt.Warm = summarize(warmLats, warmInfos)
+
+		// Warm batch: the same warm requests through the batching path.
+		qs := make([]*faq.Query[int64], len(warmReqs))
+		for i, r := range warmReqs {
+			qs[i] = r.q
+		}
+		tb := time.Now()
+		answers, binfos, berrs := sv.SolveBatch(ctx, qs)
+		batchNS := time.Since(tb).Nanoseconds()
+		for i := range qs {
+			if berrs[i] != nil {
+				return fmt.Errorf("batch request %d: %w", i, berrs[i])
+			}
+			want, err := faq.Solve(qs[i])
+			if err != nil {
+				return err
+			}
+			if !bitIdentical(answers[i], want) {
+				pt.BitIdentical = false
+				return fmt.Errorf("workers=%d: batch answer %d not bit-identical", w, i)
+			}
+		}
+		// Latency percentiles come from per-request in-batch times;
+		// throughput from the whole-batch wall clock.
+		batchLats := make([]int64, len(binfos))
+		for i, inf := range binfos {
+			batchLats[i] = inf.TotalNS
+		}
+		pt.WarmBatch = summarize(batchLats, binfos)
+		pt.WarmBatch.WallNS = batchNS
+		if batchNS > 0 {
+			pt.WarmBatch.ThroughputRPS = float64(len(qs)) / (float64(batchNS) / 1e9)
+		}
+
+		if pt.Cold.ThroughputRPS > 0 {
+			pt.Speedup = pt.Warm.ThroughputRPS / pt.Cold.ThroughputRPS
+		}
+		if minSpeedup == 0 || pt.Speedup < minSpeedup {
+			minSpeedup = pt.Speedup
+		}
+		rep.Points = append(rep.Points, pt)
+		exec.SetWorkers(prev)
+	}
+	rep.MinSpeedup = minSpeedup
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("service layer throughput (host: %d CPU(s), %d requests/phase, n=%d)\n",
+		rep.HostCPUs, requests, n)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s %-12s %-12s\n",
+		"workers", "cold_rps", "warm_rps", "batch_rps", "speedup", "warm_p50_ms", "warm_p99_ms")
+	for _, pt := range rep.Points {
+		fmt.Printf("%-8d %-12.1f %-12.1f %-12.1f %-10.2f %-12.3f %-12.3f\n",
+			pt.Workers, pt.Cold.ThroughputRPS, pt.Warm.ThroughputRPS, pt.WarmBatch.ThroughputRPS,
+			pt.Speedup, float64(pt.Warm.P50NS)/1e6, float64(pt.Warm.P99NS)/1e6)
+	}
+	fmt.Printf("min warm/cold speedup: %.2f×; answers bit-identical at every worker count\n", minSpeedup)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runRemote smokes a running faqd: every request goes over HTTP, answers
+// are verified against the local direct solve (wire values are exact for
+// Count), and a /stats round-trip confirms the cache saw the shapes.
+func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hypergraph, frees [][]int) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	var lats []int64
+	for i := 0; i < requests; i++ {
+		r := genRequest(hs, frees, i, n, dom, seed)
+		wr := queryToWire(r.q)
+		body, err := json.Marshal(wr)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(url+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("POST /solve: %w", err)
+		}
+		var wa service.WireAnswer
+		decErr := json.NewDecoder(resp.Body).Decode(&wa)
+		resp.Body.Close()
+		lats = append(lats, time.Since(t0).Nanoseconds())
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /solve: status %d", resp.StatusCode)
+		}
+		if decErr != nil {
+			return fmt.Errorf("decode answer: %w", decErr)
+		}
+		want, err := faq.Solve(r.q)
+		if err != nil {
+			return err
+		}
+		if err := compareWire(r.q, want, &wa); err != nil {
+			return fmt.Errorf("request %d (%s): %w", i, templates[r.template].name, err)
+		}
+	}
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return fmt.Errorf("GET /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache plan.CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("decode stats: %w", err)
+	}
+	if stats.Cache.Compiles < 1 || stats.Cache.Compiles > int64(len(templates)) {
+		return fmt.Errorf("stats: %d compiles for %d templates — plan sharing broken", stats.Cache.Compiles, len(templates))
+	}
+	var total int64
+	for _, l := range lats {
+		total += l
+	}
+	fmt.Printf("remote smoke: %d requests OK against %s (%.1f req/s), %d plan compiles for %d shapes, answers verified\n",
+		requests, url, float64(len(lats))/(float64(total)/1e9), stats.Cache.Compiles, len(templates))
+	return nil
+}
+
+// queryToWire renders a Count query as a wire request (vertex names are
+// the hypergraph's display names).
+func queryToWire(q *faq.Query[int64]) *service.WireRequest {
+	wr := &service.WireRequest{Semiring: "count", Dom: q.DomSize}
+	for e := 0; e < q.H.NumEdges(); e++ {
+		names := make([]string, len(q.H.Edge(e)))
+		for i, v := range q.H.Edge(e) {
+			names[i] = q.H.VertexName(v)
+		}
+		wr.Edges = append(wr.Edges, names)
+		f := q.Factors[e]
+		wf := service.WireFactor{Tuples: make([][]int, f.Len()), Values: make([]float64, f.Len())}
+		for t := 0; t < f.Len(); t++ {
+			row := make([]int, len(f.Tuple(t)))
+			for j, x := range f.Tuple(t) {
+				row[j] = int(x)
+			}
+			wf.Tuples[t] = row
+			wf.Values[t] = float64(f.Value(t))
+		}
+		wr.Factors = append(wr.Factors, wf)
+	}
+	for _, v := range q.Free {
+		wr.Free = append(wr.Free, q.H.VertexName(v))
+	}
+	return wr
+}
+
+// compareWire checks a wire answer against the reference relation.
+func compareWire(q *faq.Query[int64], want *relation.Relation[int64], wa *service.WireAnswer) error {
+	if len(wa.Tuples) != want.Len() {
+		return fmt.Errorf("answer has %d tuples, want %d", len(wa.Tuples), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		wt := want.Tuple(i)
+		if len(wa.Tuples[i]) != len(wt) {
+			return fmt.Errorf("tuple %d arity mismatch", i)
+		}
+		for j := range wt {
+			if wa.Tuples[i][j] != int(wt[j]) {
+				return fmt.Errorf("tuple %d differs", i)
+			}
+		}
+		if int64(wa.Values[i]) != want.Value(i) {
+			return fmt.Errorf("value %d differs: %v vs %d", i, wa.Values[i], want.Value(i))
+		}
+	}
+	return nil
+}

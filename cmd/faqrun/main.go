@@ -12,19 +12,25 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/faq"
-	"repro/internal/hypergraph"
-	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+// usageError marks malformed command-line input: main prints the flag
+// usage and exits 2 for these, while runtime failures exit 1 without the
+// usage noise.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
 
 func main() {
 	query := flag.String("query", "A,B;A,C;A,D;A,E", "hyperedges: ';'-separated, ','-separated vertex names")
@@ -35,28 +41,26 @@ func main() {
 	flag.Parse()
 	if err := run(*query, *topo, *n, *output, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "faqrun: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
 func run(query, topo string, n, output int, seed int64) error {
-	b := hypergraph.NewBuilder()
-	for _, edge := range strings.Split(query, ";") {
-		var names []string
-		for _, v := range strings.Split(edge, ",") {
-			if v = strings.TrimSpace(v); v != "" {
-				names = append(names, v)
-			}
-		}
-		if len(names) == 0 {
-			return fmt.Errorf("empty hyperedge in %q", query)
-		}
-		b.Edge(names...)
-	}
-	h := b.Build()
-	g, err := parseTopo(topo)
+	h, err := cli.ParseQuery(query)
 	if err != nil {
-		return err
+		return usageError{err}
+	}
+	g, err := cli.ParseTopology(topo)
+	if err != nil {
+		return usageError{err}
+	}
+	if n < 1 {
+		return usageError{fmt.Errorf("-n must be positive, got %d", n)}
 	}
 	r := rand.New(rand.NewSource(seed))
 	q := workload.BCQ(h, n, n, r)
@@ -94,44 +98,4 @@ func run(query, topo string, n, output int, seed int64) error {
 	fmt.Printf("bounds     : UB %d rounds, LB~ %.1f rounds, gap %.2f\n",
 		bounds.Upper, bounds.LowerTilde, bounds.Gap())
 	return nil
-}
-
-func parseTopo(spec string) (*topology.Graph, error) {
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("topology %q must be kind:size", spec)
-	}
-	kind, size := parts[0], parts[1]
-	switch kind {
-	case "grid":
-		dims := strings.SplitN(size, "x", 2)
-		if len(dims) != 2 {
-			return nil, fmt.Errorf("grid size %q must be RxC", size)
-		}
-		rows, err := strconv.Atoi(dims[0])
-		if err != nil {
-			return nil, err
-		}
-		cols, err := strconv.Atoi(dims[1])
-		if err != nil {
-			return nil, err
-		}
-		return topology.Grid(rows, cols), nil
-	default:
-		k, err := strconv.Atoi(size)
-		if err != nil {
-			return nil, err
-		}
-		switch kind {
-		case "line":
-			return topology.Line(k), nil
-		case "clique":
-			return topology.Clique(k), nil
-		case "star":
-			return topology.Star(k), nil
-		case "ring":
-			return topology.Ring(k), nil
-		}
-		return nil, fmt.Errorf("unknown topology kind %q", kind)
-	}
 }

@@ -14,20 +14,35 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/ghd"
 	"repro/internal/hypergraph"
 )
+
+// usageError marks malformed command-line input: main prints the flag
+// usage and exits 2 for these, while runtime failures exit 1 without the
+// usage noise.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
 
 func main() {
 	example := flag.String("example", "", "use a built-in example hypergraph: H0, H1, H2, H3")
 	flag.Parse()
 	if err := run(*example, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "ghdtool: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -46,16 +61,16 @@ func run(example string, args []string) error {
 		case "H3":
 			h = hypergraph.ExampleH3()
 		default:
-			return fmt.Errorf("unknown example %q (have H0..H3)", example)
+			return usageError{fmt.Errorf("unknown example %q (have H0..H3)", example)}
 		}
 	case len(args) == 1:
 		var err error
-		h, err = parse(args[0])
+		h, err = cli.ParseQuery(args[0])
 		if err != nil {
-			return err
+			return usageError{err}
 		}
 	default:
-		return fmt.Errorf("need one edge-list argument or -example (see -h)")
+		return usageError{fmt.Errorf("need one edge-list argument or -example (see -h)")}
 	}
 
 	fmt.Printf("hypergraph: %s\n", h)
@@ -81,22 +96,4 @@ func run(example string, args []string) error {
 	fmt.Printf("width-minimized GYO-GHD (y(H) = %d internal nodes, depth %d):\n%s",
 		g.InternalNodes(), g.Depth(), g)
 	return nil
-}
-
-func parse(spec string) (*hypergraph.Hypergraph, error) {
-	b := hypergraph.NewBuilder()
-	for _, edge := range strings.Split(spec, ";") {
-		var names []string
-		for _, v := range strings.Split(edge, ",") {
-			v = strings.TrimSpace(v)
-			if v != "" {
-				names = append(names, v)
-			}
-		}
-		if len(names) == 0 {
-			return nil, fmt.Errorf("empty hyperedge in %q", spec)
-		}
-		b.Edge(names...)
-	}
-	return b.Build(), nil
 }

@@ -27,6 +27,7 @@ package exec
 
 import (
 	"container/heap"
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -256,6 +257,23 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ForestCtx is Forest with cooperative cancellation: each node task
+// first checks ctx and fails with ctx.Err() once the context is done, so
+// a canceled request stops dispatching new GHD node tasks while in-flight
+// ones complete — the per-request cancellation contract of the service
+// layer. A nil ctx degenerates to Forest.
+func (p *Pool) ForestCtx(ctx context.Context, parent []int, run func(v int) error) error {
+	if ctx == nil {
+		return p.Forest(parent, run)
+	}
+	return p.Forest(parent, func(v int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return run(v)
+	})
 }
 
 // ForestTimed is Forest, additionally recording each task's wall-clock

@@ -1,6 +1,7 @@
 package faq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -71,15 +72,24 @@ func BruteForce[T any](q *Query[T]) (*relation.Relation[T], error) {
 // the root bag (F ⊆ V(C(H)), Appendix G.5). Queries violating it are
 // rejected — fall back to BruteForce.
 func Solve[T any](q *Query[T]) (*relation.Relation[T], error) {
-	g, err := ghd.Minimize(q.H)
-	if err != nil {
-		return nil, err
-	}
-	g, err = RootForFree(g, q.Free)
+	g, err := PlanGHD(q.H, q.Free)
 	if err != nil {
 		return nil, err
 	}
 	return SolveOnGHD(q, g)
+}
+
+// PlanGHD is the query-planning primitive shared by the centralized
+// solver, the distributed protocol, and the plan cache: a width-minimized
+// GYO-GHD of h re-rooted so its root bag covers the free variables. It is
+// the expensive, data-independent half of every solve — exactly what
+// internal/plan compiles once per query shape and reuses across requests.
+func PlanGHD(h *hypergraph.Hypergraph, free []int) (*ghd.GHD, error) {
+	g, err := ghd.Minimize(h)
+	if err != nil {
+		return nil, err
+	}
+	return RootForFree(g, free)
 }
 
 // RootForFree re-roots g at a node whose bag contains every free
@@ -149,8 +159,20 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 // aggregation — is unchanged from the sequential pass, so the result is
 // bit-identical at any worker count.
 func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
-	rel, _, _, err := solveOnGHD(q, g, solvePlain)
+	rel, _, _, err := solveOnGHD(nil, q, g, solvePlain)
 	return rel, err
+}
+
+// SolveOnGHDCtx is SolveOnGHD with per-request cancellation and cost
+// measurement — the service layer's execution entry point. Each node task
+// checks ctx before running (exec.Pool.ForestCtx), so a canceled request
+// stops dispatching GHD nodes and returns ctx.Err() while in-flight node
+// tasks complete. The returned cost vector is ForestTimed's per-node
+// wall clock (indexed by GHD node), which the plan cache folds into its
+// measured task shapes for /stats and schedule-replay accounting.
+func SolveOnGHDCtx[T any](ctx context.Context, q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
+	rel, costs, _, err := solveOnGHD(ctx, q, g, solveTimed)
+	return rel, costs, err
 }
 
 // SolveOnGHDTimed is SolveOnGHD, additionally returning the wall-clock
@@ -158,7 +180,7 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 // The cost vector feeds exec.Makespan's schedule replay — the
 // hardware-independent speedup accounting of `faqbench -parallel`.
 func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
-	rel, costs, _, err := solveOnGHD(q, g, solveTimed)
+	rel, costs, _, err := solveOnGHD(nil, q, g, solveTimed)
 	return rel, costs, err
 }
 
@@ -172,7 +194,7 @@ func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []i
 // replay. Meaningful with the default pool at 1 worker, so the kernels
 // take the sequential paths that mark those regions.
 func SolveOnGHDShaped[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []exec.TaskShape, error) {
-	rel, _, shapes, err := solveOnGHD(q, g, solveShaped)
+	rel, _, shapes, err := solveOnGHD(nil, q, g, solveShaped)
 	return rel, shapes, err
 }
 
@@ -184,7 +206,7 @@ const (
 	solveShaped
 )
 
-func solveOnGHD[T any](q *Query[T], g *ghd.GHD, mode solveMode) (*relation.Relation[T], []int64, []exec.TaskShape, error) {
+func solveOnGHD[T any](ctx context.Context, q *Query[T], g *ghd.GHD, mode solveMode) (*relation.Relation[T], []int64, []exec.TaskShape, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -242,16 +264,27 @@ func solveOnGHD[T any](q *Query[T], g *ghd.GHD, mode solveMode) (*relation.Relat
 		msgs[v] = cur
 		return nil
 	}
+	run := task
+	if ctx != nil {
+		// The same per-task ctx gate ForestCtx applies, threaded here so
+		// the timed/shaped variants stay cancellable too.
+		run = func(v int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return task(v)
+		}
+	}
 	var costs []int64
 	var shapes []exec.TaskShape
 	var err error
 	switch mode {
 	case solveTimed:
-		costs, err = exec.Default().ForestTimed(g.Parent, task)
+		costs, err = exec.Default().ForestTimed(g.Parent, run)
 	case solveShaped:
-		shapes, err = exec.Default().ForestShaped(g.Parent, task)
+		shapes, err = exec.Default().ForestShaped(g.Parent, run)
 	default:
-		err = exec.Default().Forest(g.Parent, task)
+		err = exec.Default().ForestCtx(ctx, g.Parent, task)
 	}
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,46 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/topology"
+)
+
+// BestDelta's candidate sweep is sharded across the exec pool; the
+// selection (Δ, packing, bound value) must be identical at every worker
+// count because the sequential scan keeps the candidate-order tie-break.
+// Driven on the dense fixtures where the sweep actually dominates, under
+// `-race` via the CI race job.
+func TestBestDeltaWorkerSweepDeterminism(t *testing.T) {
+	fixtures := []struct {
+		name string
+		g    *topology.Graph
+		K    []int
+	}{
+		{"clique8", topology.Clique(8), []int{0, 2, 5, 7}},
+		{"grid3x4", topology.Grid(3, 4), []int{0, 5, 11}},
+		{"ring6", topology.Ring(6), []int{0, 3}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			for _, units := range []int{1, 64, 4096} {
+				prev := exec.SetWorkers(1)
+				wd, wt, wv, werr := BestDelta(fx.g, fx.K, units)
+				for _, w := range []int{2, 8} {
+					exec.SetWorkers(w)
+					gd, gt, gv, gerr := BestDelta(fx.g, fx.K, units)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("units=%d workers=%d: err %v vs sequential %v", units, w, gerr, werr)
+					}
+					if gd != wd || gv != wv || !reflect.DeepEqual(gt, wt) {
+						t.Fatalf("units=%d workers=%d: (Δ=%d, |ST|=%d, val=%d) != sequential (Δ=%d, |ST|=%d, val=%d)",
+							units, w, gd, len(gt), gv, wd, len(wt), wv)
+					}
+				}
+				exec.SetWorkers(prev)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/topology"
 )
 
@@ -236,6 +237,14 @@ func STCount(g *topology.Graph, K []int, delta int) int {
 // [1, |V|]. It returns the chosen Δ, the packing, and the bound value.
 // units is the number of per-edge-per-round payload units to aggregate
 // (N tuples in the paper's normalization).
+//
+// The per-candidate packings dominate star setup on dense topologies and
+// are independent pure reads of the immutable topology (greedyPacking
+// seeds a private rand.Source per call), so the sweep shards across the
+// exec pool — the same discipline as the protocol layer's MaxFlow
+// sharding. Selection stays a sequential scan in candidate order with a
+// strict < tie-break, so the chosen Δ and packing are identical at every
+// worker count.
 func BestDelta(g *topology.Graph, K []int, units int) (int, []*SteinerTree, int, error) {
 	if len(K) < 2 {
 		return 0, nil, 0, fmt.Errorf("flow: BestDelta needs ≥ 2 players")
@@ -243,8 +252,6 @@ func BestDelta(g *topology.Graph, K []int, units int) (int, []*SteinerTree, int,
 	if !g.ConnectsAll(K) {
 		return 0, nil, 0, fmt.Errorf("flow: players %v not connected", K)
 	}
-	bestDelta, bestVal := -1, 0
-	var bestTrees []*SteinerTree
 	// Candidate deltas: every value for small topologies; powers of two
 	// plus |V| for large ones (within a factor 2 of the true min).
 	var candidates []int
@@ -258,8 +265,14 @@ func BestDelta(g *topology.Graph, K []int, units int) (int, []*SteinerTree, int,
 		}
 		candidates = append(candidates, g.N())
 	}
-	for _, d := range candidates {
-		trees := PackSteinerTrees(g, K, d)
+	packings := make([][]*SteinerTree, len(candidates))
+	exec.Default().Map(len(candidates), func(i int) {
+		packings[i] = PackSteinerTrees(g, K, candidates[i])
+	})
+	bestDelta, bestVal := -1, 0
+	var bestTrees []*SteinerTree
+	for i, d := range candidates {
+		trees := packings[i]
 		if len(trees) == 0 {
 			continue
 		}

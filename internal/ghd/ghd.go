@@ -262,6 +262,66 @@ func (g *GHD) ReRoot(newRoot int) *GHD {
 	return out
 }
 
+// Relabel transports g onto an isomorphic hypergraph h: varTo maps each
+// of g's vertex ids to its id in h (a bijection on the vertices used),
+// and edgeTo maps each of g's hyperedge indices to the matching edge
+// index of h (edgeTo[e] must have exactly the varTo-image of g's edge e
+// as its vertex set). The tree shape is unchanged; bags and labels are
+// rewritten, and bags re-sorted under the new ids.
+//
+// This is the plan-cache binding step: a compiled decomposition lives
+// over the canonical (renaming-invariant) hypergraph, and Relabel
+// instantiates it for a request's concrete variable ids in O(plan size)
+// — no re-derivation. Validity is preserved because the running
+// intersection property and the reduced-GHD property are invariant under
+// hypergraph isomorphism; callers wanting the guarantee checked can run
+// Validate on the result.
+func (g *GHD) Relabel(h *hypergraph.Hypergraph, varTo map[int]int, edgeTo []int) (*GHD, error) {
+	if len(edgeTo) != g.H.NumEdges() {
+		return nil, fmt.Errorf("ghd: edge map has %d entries for %d edges", len(edgeTo), g.H.NumEdges())
+	}
+	out := &GHD{
+		H:        h,
+		Bags:     make([][]int, len(g.Bags)),
+		Labels:   make([][]int, len(g.Labels)),
+		Parent:   append([]int(nil), g.Parent...),
+		Root:     g.Root,
+		NodeOf:   make([]int, h.NumEdges()),
+		CoreRoot: g.CoreRoot,
+	}
+	for v, bag := range g.Bags {
+		nb := make([]int, len(bag))
+		for i, x := range bag {
+			nx, ok := varTo[x]
+			if !ok {
+				return nil, fmt.Errorf("ghd: vertex %d missing from relabel map", x)
+			}
+			nb[i] = nx
+		}
+		sort.Ints(nb)
+		out.Bags[v] = nb
+	}
+	for v, label := range g.Labels {
+		nl := make([]int, len(label))
+		for i, e := range label {
+			nl[i] = edgeTo[e]
+		}
+		sort.Ints(nl)
+		out.Labels[v] = nl
+	}
+	for i := range out.NodeOf {
+		out.NodeOf[i] = -1
+	}
+	for e, v := range g.NodeOf {
+		ne := edgeTo[e]
+		if ne < 0 || ne >= h.NumEdges() || out.NodeOf[ne] != -1 {
+			return nil, fmt.Errorf("ghd: edge map entry %d -> %d is out of range or not injective", e, ne)
+		}
+		out.NodeOf[ne] = v
+	}
+	return out, nil
+}
+
 // PostOrder returns the nodes in post-order (children before parents),
 // the traversal order of the bottom-up star protocols (Lemma 4.1) and the
 // centralized GHD solver (Theorem G.3).

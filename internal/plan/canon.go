@@ -1,0 +1,452 @@
+// Package plan is the compiled-plan subsystem: it fingerprints FAQ query
+// shapes up to variable renaming, compiles each shape once into a Plan —
+// the width-minimized GYO-GHD rooted for the free variables plus the
+// paper's structural size/width parameters — and serves compiled plans
+// from a concurrent LRU cache with singleflight compilation, so N
+// simultaneous requests for the same shape trigger exactly one
+// ghd.Minimize. Binding a cached plan to a concrete request is a cheap
+// relabeling (ghd.Relabel), never a re-derivation.
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// Fingerprint is the canonical, variable-renaming-invariant identity of a
+// query shape: two queries whose hypergraphs differ only by a bijection
+// on variable ids (with free variables and per-variable aggregates mapped
+// consistently) produce equal Keys. The maps translate between a concrete
+// request and the canonical shape the compiled Plan lives over.
+type Fingerprint struct {
+	// Key is the complete canonical encoding — the cache identity (the
+	// semiring name is prepended by the caller, since the plan structure
+	// itself is semiring-independent). Equal Keys mean isomorphic shapes.
+	Key string
+	// Hash is the 64-bit FNV-1a of Key, for cheap logging/stats.
+	Hash uint64
+	// Exact reports whether the canonical labeling search completed
+	// within budget. When false the Key is still deterministic for this
+	// exact input, but a renamed twin may fingerprint differently (a
+	// cache miss, never a wrong plan).
+	Exact bool
+
+	// VarTo maps each request variable id to its canonical id (-1 for
+	// isolated vertices appearing in no hyperedge — they carry no factor
+	// data and are excluded from the shape).
+	VarTo []int
+	// EdgeTo maps each request hyperedge index to its canonical index.
+	EdgeTo []int
+
+	// The canonical shape itself, from which Compile rebuilds the
+	// hypergraph: edge vertex lists under canonical ids (each sorted, the
+	// list lexicographically sorted), the canonical free list, and the
+	// canonical per-variable aggregate names.
+	NumVars    int
+	CanonEdges [][]int
+	CanonFree  []int
+	CanonOps   map[int]string
+}
+
+// canonBudget bounds the individualization-refinement search (number of
+// recursive refine calls). Query hypergraphs are tiny, so the budget is
+// generous; pathological highly-symmetric shapes fall back to a
+// deterministic (but not renaming-invariant) tie-break instead of
+// blowing up — see Fingerprint.Exact.
+const canonBudget = 4096
+
+// Canonicalize computes the Fingerprint of a query shape. varOps names
+// the aggregate of each bound variable ("" or missing = the semiring ⊕);
+// free must be the query's free-variable list. Only the hypergraph
+// structure, free set, and aggregate names enter the Key — factor data,
+// domain size, and semiring are bound at execution time.
+func Canonicalize(h *hypergraph.Hypergraph, free []int, varOps map[int]string) (*Fingerprint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("plan: nil hypergraph")
+	}
+	if h.NumEdges() == 0 {
+		return nil, fmt.Errorf("plan: hypergraph has no edges")
+	}
+	n := h.NumVertices()
+	isFree := make([]bool, n)
+	for _, v := range free {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("plan: free variable %d out of range", v)
+		}
+		isFree[v] = true
+	}
+	// Only covered vertices participate in the shape.
+	covered := make([]bool, n)
+	incident := make([][]int, n) // vertex -> incident edge indices
+	for e, vs := range h.Edges() {
+		for _, v := range vs {
+			covered[v] = true
+			incident[v] = append(incident[v], e)
+		}
+	}
+	for _, v := range free {
+		if !covered[v] {
+			return nil, fmt.Errorf("plan: free variable %d appears in no hyperedge", v)
+		}
+	}
+
+	c := &canonizer{
+		h:        h,
+		incident: incident,
+		isFree:   isFree,
+		opName:   make([]string, n),
+		active:   nil,
+		budget:   canonBudget,
+	}
+	for v := 0; v < n; v++ {
+		if covered[v] {
+			c.active = append(c.active, v)
+		}
+		if varOps != nil {
+			c.opName[v] = varOps[v]
+		}
+	}
+
+	colors := c.initialColors()
+	c.refine(colors)
+	perm, exact := c.search(colors)
+
+	fp := &Fingerprint{Exact: exact, NumVars: len(c.active)}
+	fp.VarTo = make([]int, n)
+	for v := range fp.VarTo {
+		fp.VarTo[v] = -1
+	}
+	for _, v := range c.active {
+		fp.VarTo[v] = perm[v]
+	}
+
+	// Canonical edges: relabel, sort each, sort the list; ties between
+	// duplicate edges are broken by request index, which cannot affect the
+	// Key (duplicates encode identically).
+	type relEdge struct {
+		vs  []int
+		req int
+	}
+	rel := make([]relEdge, h.NumEdges())
+	for e, vs := range h.Edges() {
+		nv := make([]int, len(vs))
+		for i, v := range vs {
+			nv[i] = fp.VarTo[v]
+		}
+		sort.Ints(nv)
+		rel[e] = relEdge{nv, e}
+	}
+	sort.Slice(rel, func(i, j int) bool {
+		if c := compareInts(rel[i].vs, rel[j].vs); c != 0 {
+			return c < 0
+		}
+		return rel[i].req < rel[j].req
+	})
+	fp.EdgeTo = make([]int, h.NumEdges())
+	fp.CanonEdges = make([][]int, len(rel))
+	for ci, re := range rel {
+		fp.EdgeTo[re.req] = ci
+		fp.CanonEdges[ci] = re.vs
+	}
+
+	for _, v := range free {
+		fp.CanonFree = append(fp.CanonFree, fp.VarTo[v])
+	}
+	sort.Ints(fp.CanonFree)
+	fp.CanonOps = make(map[int]string)
+	for v, name := range c.opName {
+		if name != "" && fp.VarTo[v] >= 0 {
+			fp.CanonOps[fp.VarTo[v]] = name
+		}
+	}
+
+	fp.Key = encodeKey(fp)
+	hsh := fnv.New64a()
+	hsh.Write([]byte(fp.Key))
+	fp.Hash = hsh.Sum64()
+	return fp, nil
+}
+
+// canonizer runs the individualization-refinement canonical labeling:
+// Weisfeiler–Leman color refinement over the vertex/hyperedge incidence
+// structure (seeded with free-variable and aggregate markers), and — when
+// refinement alone cannot separate symmetric variables — a bounded exact
+// search that individualizes one vertex of the first non-singleton color
+// class per level and keeps the branch with the lexicographically
+// smallest canonical encoding.
+type canonizer struct {
+	h        *hypergraph.Hypergraph
+	incident [][]int
+	isFree   []bool
+	opName   []string
+	active   []int // covered vertices, ascending
+	budget   int
+}
+
+// initialColors seeds the refinement with every renaming-invariant local
+// property: free/bound status, aggregate name, and the multiset of
+// incident edge sizes.
+func (c *canonizer) initialColors() map[int]int {
+	sig := make(map[int]string, len(c.active))
+	for _, v := range c.active {
+		sizes := make([]int, len(c.incident[v]))
+		for i, e := range c.incident[v] {
+			sizes[i] = len(c.h.Edge(e))
+		}
+		sort.Ints(sizes)
+		var sb strings.Builder
+		if c.isFree[v] {
+			sb.WriteString("F|")
+		} else {
+			sb.WriteString("B|")
+		}
+		sb.WriteString(c.opName[v])
+		sb.WriteByte('|')
+		for _, s := range sizes {
+			sb.WriteString(strconv.Itoa(s))
+			sb.WriteByte(',')
+		}
+		sig[v] = sb.String()
+	}
+	return rankBySignature(c.active, sig)
+}
+
+// refine iterates WL refinement to a fixpoint: each edge's signature is
+// the sorted multiset of its member colors, each vertex's new color the
+// pair (old color, sorted multiset of incident edge signatures). The
+// number of color classes is non-decreasing, so the loop terminates in at
+// most |active| rounds.
+func (c *canonizer) refine(colors map[int]int) {
+	classes := countClasses(colors)
+	for {
+		edgeSig := make([]string, c.h.NumEdges())
+		for e, vs := range c.h.Edges() {
+			cs := make([]int, len(vs))
+			for i, v := range vs {
+				cs[i] = colors[v]
+			}
+			sort.Ints(cs)
+			var sb strings.Builder
+			for _, x := range cs {
+				sb.WriteString(strconv.Itoa(x))
+				sb.WriteByte(',')
+			}
+			edgeSig[e] = sb.String()
+		}
+		sig := make(map[int]string, len(c.active))
+		for _, v := range c.active {
+			es := make([]string, len(c.incident[v]))
+			for i, e := range c.incident[v] {
+				es[i] = edgeSig[e]
+			}
+			sort.Strings(es)
+			sig[v] = strconv.Itoa(colors[v]) + "#" + strings.Join(es, ";")
+		}
+		next := rankBySignature(c.active, sig)
+		nc := countClasses(next)
+		for v, col := range next {
+			colors[v] = col
+		}
+		if nc == classes {
+			return
+		}
+		classes = nc
+	}
+}
+
+// search completes a stable coloring to a discrete one. If refinement
+// already separated every vertex the ranks are the canonical labeling.
+// Otherwise it individualizes each member of the first non-singleton
+// class in turn, refines, recurses, and keeps the branch whose canonical
+// encoding is smallest — an exact canonical form. When the budget runs
+// out it falls back to breaking the remaining ties by request id
+// (deterministic, not renaming-invariant) and reports exact = false.
+func (c *canonizer) search(colors map[int]int) (perm map[int]int, exact bool) {
+	target := c.targetClass(colors)
+	if target == nil {
+		return colorsAsPerm(colors), true
+	}
+	if c.budget <= 0 {
+		return c.fallback(colors), false
+	}
+	var bestEnc string
+	var bestPerm map[int]int
+	exact = true
+	for _, v := range target {
+		if c.budget <= 0 && bestPerm != nil {
+			// Unexplored siblings remain: the minimum may be missed, so
+			// the result is deterministic but not renaming-invariant.
+			exact = false
+			break
+		}
+		c.budget--
+		branch := cloneColors(colors)
+		branch[v] = len(c.active) // unique marker; refine re-ranks immediately
+		c.refine(branch)
+		p, ex := c.search(branch)
+		if !ex {
+			exact = false
+		}
+		enc := c.encodePerm(p)
+		if bestPerm == nil || enc < bestEnc {
+			bestEnc, bestPerm = enc, p
+		}
+	}
+	return bestPerm, exact
+}
+
+// targetClass returns the members of the first (smallest-color)
+// non-singleton color class, or nil when the coloring is discrete. The
+// choice is color-based, hence renaming-invariant.
+func (c *canonizer) targetClass(colors map[int]int) []int {
+	byColor := make(map[int][]int)
+	minMulti := -1
+	for _, v := range c.active {
+		col := colors[v]
+		byColor[col] = append(byColor[col], v)
+		if len(byColor[col]) > 1 && (minMulti == -1 || col < minMulti) {
+			minMulti = col
+		}
+	}
+	if minMulti == -1 {
+		return nil
+	}
+	sort.Ints(byColor[minMulti])
+	return byColor[minMulti]
+}
+
+// fallback completes a non-discrete coloring deterministically by
+// breaking ties on the request vertex id.
+func (c *canonizer) fallback(colors map[int]int) map[int]int {
+	order := append([]int(nil), c.active...)
+	sort.Slice(order, func(i, j int) bool {
+		if colors[order[i]] != colors[order[j]] {
+			return colors[order[i]] < colors[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	perm := make(map[int]int, len(order))
+	for rank, v := range order {
+		perm[v] = rank
+	}
+	return perm
+}
+
+// encodePerm renders the hypergraph under a candidate labeling — the
+// comparison string of the individualization search.
+func (c *canonizer) encodePerm(perm map[int]int) string {
+	edges := make([][]int, c.h.NumEdges())
+	for e, vs := range c.h.Edges() {
+		nv := make([]int, len(vs))
+		for i, v := range vs {
+			nv[i] = perm[v]
+		}
+		sort.Ints(nv)
+		edges[e] = nv
+	}
+	sort.Slice(edges, func(i, j int) bool { return compareInts(edges[i], edges[j]) < 0 })
+	var sb strings.Builder
+	for _, vs := range edges {
+		for _, x := range vs {
+			sb.WriteString(strconv.Itoa(x))
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// rankBySignature converts per-vertex signature strings into dense color
+// ranks (0..k-1 in signature order) — the step that makes color values
+// renaming-invariant.
+func rankBySignature(active []int, sig map[int]string) map[int]int {
+	uniq := make([]string, 0, len(sig))
+	seen := make(map[string]bool, len(sig))
+	for _, v := range active {
+		if s := sig[v]; !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		rank[s] = i
+	}
+	colors := make(map[int]int, len(active))
+	for _, v := range active {
+		colors[v] = rank[sig[v]]
+	}
+	return colors
+}
+
+func countClasses(colors map[int]int) int {
+	seen := make(map[int]bool, len(colors))
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+func cloneColors(colors map[int]int) map[int]int {
+	out := make(map[int]int, len(colors))
+	for k, v := range colors {
+		out[k] = v
+	}
+	return out
+}
+
+// colorsAsPerm reads a discrete coloring as the canonical labeling (the
+// dense ranks are exactly 0..n-1).
+func colorsAsPerm(colors map[int]int) map[int]int {
+	return cloneColors(colors)
+}
+
+func compareInts(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] - b[i]
+		}
+	}
+	return len(a) - len(b)
+}
+
+// encodeKey serializes the canonical shape: vertex count, edge list, free
+// list, aggregate names. This is the complete cache identity (modulo the
+// semiring name the caller prepends).
+func encodeKey(fp *Fingerprint) string {
+	var sb strings.Builder
+	sb.WriteString("v")
+	sb.WriteString(strconv.Itoa(fp.NumVars))
+	sb.WriteString("|E:")
+	for _, vs := range fp.CanonEdges {
+		for _, x := range vs {
+			sb.WriteString(strconv.Itoa(x))
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(';')
+	}
+	sb.WriteString("|F:")
+	for _, v := range fp.CanonFree {
+		sb.WriteString(strconv.Itoa(v))
+		sb.WriteByte(',')
+	}
+	sb.WriteString("|O:")
+	ops := make([]int, 0, len(fp.CanonOps))
+	for v := range fp.CanonOps {
+		ops = append(ops, v)
+	}
+	sort.Ints(ops)
+	for _, v := range ops {
+		sb.WriteString(strconv.Itoa(v))
+		sb.WriteByte('=')
+		sb.WriteString(fp.CanonOps[v])
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}

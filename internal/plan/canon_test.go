@@ -1,0 +1,179 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// renameQuery applies a bijection on vertex ids to (h, free): edges keep
+// their order, vertex ids permute — the transformation the Fingerprint
+// must be invariant under.
+func renameQuery(h *hypergraph.Hypergraph, free []int, perm []int) (*hypergraph.Hypergraph, []int) {
+	out := hypergraph.New(h.NumVertices())
+	for _, vs := range h.Edges() {
+		nv := make([]int, len(vs))
+		for i, v := range vs {
+			nv[i] = perm[v]
+		}
+		out.AddEdge(nv...)
+	}
+	nf := make([]int, len(free))
+	for i, v := range free {
+		nf[i] = perm[v]
+	}
+	return out, nf
+}
+
+func mustCanon(t *testing.T, h *hypergraph.Hypergraph, free []int, ops map[int]string) *Fingerprint {
+	t.Helper()
+	fp, err := Canonicalize(h, free, ops)
+	if err != nil {
+		t.Fatalf("Canonicalize: %v", err)
+	}
+	return fp
+}
+
+// testShapes are the canonicalization fixtures: paths, stars (maximally
+// symmetric — the individualization search must resolve the leaf orbit),
+// a cyclic triangle with a pendant, duplicate edges, and the paper's H2.
+func testShapes(t *testing.T) []struct {
+	name string
+	h    *hypergraph.Hypergraph
+	free []int
+} {
+	t.Helper()
+	path := hypergraph.New(5)
+	for i := 0; i+1 < 5; i++ {
+		path.AddEdge(i, i+1)
+	}
+	star := hypergraph.New(6)
+	for i := 1; i < 6; i++ {
+		star.AddEdge(0, i)
+	}
+	tri := hypergraph.New(4)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	tri.AddEdge(2, 3)
+	dup := hypergraph.New(3)
+	dup.AddEdge(0, 1)
+	dup.AddEdge(0, 1)
+	dup.AddEdge(1, 2)
+	wide := hypergraph.New(6)
+	wide.AddEdge(0, 1, 2)
+	wide.AddEdge(2, 3)
+	wide.AddEdge(2, 4)
+	wide.AddEdge(0, 1, 5)
+	return []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		free []int
+	}{
+		{"path5", path, []int{0}},
+		{"path5-nofree", path, nil},
+		{"star6", star, []int{0}},
+		{"triangle-pendant", tri, []int{2}},
+		{"dup-edges", dup, []int{1}},
+		{"wide", wide, []int{0, 1}},
+	}
+}
+
+// TestFingerprintRenamingInvariance is the satellite contract: for every
+// shape and many random bijections, the renamed query fingerprints to the
+// same Key/Hash, and the labeling maps agree (renaming then canonizing
+// equals canonizing directly).
+func TestFingerprintRenamingInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, sh := range testShapes(t) {
+		base := mustCanon(t, sh.h, sh.free, nil)
+		if !base.Exact {
+			t.Fatalf("%s: base canonicalization not exact", sh.name)
+		}
+		for trial := 0; trial < 25; trial++ {
+			perm := r.Perm(sh.h.NumVertices())
+			rh, rf := renameQuery(sh.h, sh.free, perm)
+			got := mustCanon(t, rh, rf, nil)
+			if got.Key != base.Key || got.Hash != base.Hash {
+				t.Fatalf("%s trial %d: renamed key differs\nbase: %q\n got: %q", sh.name, trial, base.Key, got.Key)
+			}
+			// The composed map request→canonical must relabel each renamed
+			// edge onto the same canonical edge multiset.
+			for e, vs := range rh.Edges() {
+				canon := make(map[int]bool, len(vs))
+				for _, v := range vs {
+					canon[got.VarTo[v]] = true
+				}
+				for _, cv := range got.CanonEdges[got.EdgeTo[e]] {
+					if !canon[cv] {
+						t.Fatalf("%s trial %d: edge %d maps inconsistently", sh.name, trial, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintSeparatesShapes pins that structurally different shapes
+// (and the same shape with different free sets or aggregate ops) get
+// different keys.
+func TestFingerprintSeparatesShapes(t *testing.T) {
+	shapes := testShapes(t)
+	seen := map[string]string{}
+	for _, sh := range shapes {
+		fp := mustCanon(t, sh.h, sh.free, nil)
+		if prev, dup := seen[fp.Key]; dup {
+			t.Fatalf("shapes %s and %s share key %q", prev, sh.name, fp.Key)
+		}
+		seen[fp.Key] = sh.name
+	}
+	// Same hypergraph, different free set.
+	path := shapes[0]
+	a := mustCanon(t, path.h, []int{0}, nil)
+	b := mustCanon(t, path.h, []int{2}, nil)
+	if a.Key == b.Key {
+		t.Fatalf("different free sets share key %q", a.Key)
+	}
+	// Same hypergraph, product aggregate on one bound variable.
+	c := mustCanon(t, path.h, []int{0}, map[int]string{3: "mul"})
+	if c.Key == a.Key {
+		t.Fatalf("aggregate override did not change key")
+	}
+}
+
+// TestFingerprintFreeFollowsRenaming pins that the free marker sticks to
+// the variable, not the id: renaming that moves the free variable still
+// matches, while freeing a structurally different variable does not.
+func TestFingerprintFreeFollowsRenaming(t *testing.T) {
+	path := hypergraph.New(4)
+	for i := 0; i+1 < 4; i++ {
+		path.AddEdge(i, i+1)
+	}
+	endpointA := mustCanon(t, path, []int{0}, nil)
+	endpointB := mustCanon(t, path, []int{3}, nil) // the mirrored endpoint
+	middle := mustCanon(t, path, []int{1}, nil)
+	if endpointA.Key != endpointB.Key {
+		t.Fatalf("mirror-symmetric free endpoints should share a key")
+	}
+	if endpointA.Key == middle.Key {
+		t.Fatalf("endpoint-free and middle-free shapes must differ")
+	}
+}
+
+func TestCanonicalizeErrors(t *testing.T) {
+	if _, err := Canonicalize(nil, nil, nil); err == nil {
+		t.Fatal("nil hypergraph: want error")
+	}
+	if _, err := Canonicalize(hypergraph.New(3), nil, nil); err == nil {
+		t.Fatal("edgeless hypergraph: want error")
+	}
+	h := hypergraph.New(3)
+	h.AddEdge(0, 1)
+	if _, err := Canonicalize(h, []int{2}, nil); err == nil {
+		t.Fatal("free variable outside every edge: want error")
+	}
+	if _, err := Canonicalize(h, []int{7}, nil); err == nil {
+		t.Fatal("free variable out of range: want error")
+	}
+}

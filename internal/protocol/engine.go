@@ -57,12 +57,11 @@ func strCodec() keyCodec[string] {
 
 // Run executes the main protocol end to end and returns the answer
 // relation (schema = the query's free variables) plus the measured cost.
+// Planning goes through faq.PlanGHD — the same primitive the plan cache
+// compiles once per query shape — so a service can hand RunOnGHD a cached
+// decomposition and skip the planning cost entirely.
 func Run[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
-	gh, err := ghd.Minimize(s.Q.H)
-	if err != nil {
-		return nil, Report{}, err
-	}
-	gh, err = faq.RootForFree(gh, s.Q.Free)
+	gh, err := faq.PlanGHD(s.Q.H, s.Q.Free)
 	if err != nil {
 		return nil, Report{}, err
 	}

@@ -328,6 +328,113 @@ func semijoinHashParallel[T any](a, b *Relation[T], shared []int, parts int) *Re
 	return &Relation[T]{schema: a.schema, rows: rows, vals: vals}
 }
 
+// prefixCuts picks the chunk boundaries of a range-split contiguous-run
+// reduction over the leading p columns of r's sorted rows: parts−1
+// candidate keys sampled at even positions, each mapped to the first row
+// of its group (gallopShared from 0 is exactly that lower bound), so no
+// group straddles a chunk and chunk outputs concatenated in chunk order
+// reproduce the sequential group sequence. Cuts are non-decreasing
+// because the sampled keys are.
+func prefixCuts[T any](r *Relation[T], p, parts int) []int {
+	n, a := r.Len(), len(r.schema)
+	cuts := make([]int, parts+1)
+	for k := 1; k < parts; k++ {
+		pos := n * k / parts
+		key := r.rows[pos*a : pos*a+p]
+		cuts[k] = gallopShared(r.rows, a, n, 0, key, p)
+	}
+	cuts[parts] = n
+	return cuts
+}
+
+// projectPrefixRange reduces the contiguous groups of r[lo:hi) onto the
+// leading p columns — the shared core of Project's prefix fast path and
+// of each chunk of its range-split twin. Within a group the ⊕-order is
+// the ascending row order, exactly the sequential fold.
+func projectPrefixRange[T any](s semiring.Semiring[T], r *Relation[T], p, lo, hi int) ([]int32, []T) {
+	a := len(r.schema)
+	var rows []int32
+	var vals []T
+	for i := lo; i < hi; {
+		j := i + 1
+		v := r.vals[i]
+		for j < hi && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
+			v = s.Add(v, r.vals[j])
+			j++
+		}
+		if !s.IsZero(v) {
+			rows = append(rows, r.rows[i*a:i*a+p]...)
+			vals = append(vals, v)
+		}
+		i = j
+	}
+	return rows, vals
+}
+
+// projectPrefixParallel is the range-split twin of Project's prefix fast
+// path (p ≥ 1 kept leading columns): prefixCuts aligns chunk boundaries
+// to group starts, chunks reduce independently on the pool, and outputs
+// concatenate in chunk order — the sequential group sequence, hence
+// bit-identical by construction.
+func projectPrefixParallel[T any](s semiring.Semiring[T], r *Relation[T], schema []int, p, parts int) *Relation[T] {
+	if r.Len() == 0 {
+		return fromSorted[T](schema, nil, nil)
+	}
+	cuts := prefixCuts(r, p, parts)
+	rows, vals := collectChunks[T](parts, p, func(i int) ([]int32, []T) {
+		if cuts[i] == cuts[i+1] {
+			return nil, nil
+		}
+		return projectPrefixRange(s, r, p, cuts[i], cuts[i+1])
+	})
+	return fromSorted(schema, rows, vals)
+}
+
+// eliminatePrefixRange folds variable-eliminating groups of r[lo:hi)
+// grouped on the leading p columns with the per-variable operator — the
+// shared core of EliminateVar's innermost fast path and of each chunk of
+// its range-split twin. The product-aggregate zero-annihilation rule
+// (a group survives only with domSize listed tuples) applies per group,
+// so it is chunk-local once groups never straddle a cut.
+func eliminatePrefixRange[T any](s semiring.Semiring[T], r *Relation[T], op semiring.Op[T],
+	domSize, p, lo, hi int) ([]int32, []T) {
+	a := len(r.schema)
+	var rows []int32
+	var vals []T
+	for i := lo; i < hi; {
+		j := i + 1
+		acc := op.Combine(op.Identity(), r.vals[i])
+		for j < hi && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
+			acc = op.Combine(acc, r.vals[j])
+			j++
+		}
+		if !(op.IsProduct() && j-i < domSize) && !s.IsZero(acc) {
+			rows = append(rows, r.rows[i*a:i*a+p]...)
+			vals = append(vals, acc)
+		}
+		i = j
+	}
+	return rows, vals
+}
+
+// eliminatePrefixParallel is the range-split twin of EliminateVar's
+// innermost-variable fast path (p ≥ 1 remaining leading columns): same
+// prefixCuts discipline as projectPrefixParallel.
+func eliminatePrefixParallel[T any](s semiring.Semiring[T], r *Relation[T], rest []int,
+	op semiring.Op[T], domSize, p, parts int) *Relation[T] {
+	if r.Len() == 0 {
+		return fromSorted[T](rest, nil, nil)
+	}
+	cuts := prefixCuts(r, p, parts)
+	rows, vals := collectChunks[T](parts, p, func(i int) ([]int32, []T) {
+		if cuts[i] == cuts[i+1] {
+			return nil, nil
+		}
+		return eliminatePrefixRange(s, r, op, domSize, p, cuts[i], cuts[i+1])
+	})
+	return fromSorted(rest, rows, vals)
+}
+
 // parallelSortFunc sorts s by cmp with concurrent sub-sorts followed by
 // rounds of pairwise parallel merges (ping-pong between s and one
 // scratch buffer). cmp must induce a strict total order — the Builder

@@ -363,27 +363,27 @@ func Project[T any](s semiring.Semiring[T], r *Relation[T], vs []int) (*Relation
 	if err != nil {
 		return nil, err
 	}
-	a := len(r.schema)
 	p := len(cols)
 	n := r.Len()
 	if isIdentPrefix(cols) {
 		// Keeping a schema prefix: groups are contiguous runs of the
-		// sorted rows — one linear merge, already in output order.
-		rows := make([]int32, 0, n*p)
-		vals := make([]T, 0, n)
-		for i := 0; i < n; {
-			j := i + 1
-			v := r.vals[i]
-			for j < n && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
-				v = s.Add(v, r.vals[j])
-				j++
+		// sorted rows — one linear merge, already in output order. With
+		// p ≥ 1 the run reduction range-splits on group boundaries
+		// (p = 0 collapses everything into one group, which cannot split).
+		if p >= 1 {
+			if parts := parallelParts(n); parts > 1 {
+				return projectPrefixParallel(s, r, sorted, p, parts), nil
 			}
-			if !s.IsZero(v) {
-				rows = append(rows, r.rows[i*a:i*a+p]...)
-				vals = append(vals, v)
-			}
-			i = j
 		}
+		divN := 0
+		if p >= 1 {
+			divN = n // projectPrefixParallel is the partitioned twin
+		}
+		var rows []int32
+		var vals []T
+		markDivisible(divN, func() {
+			rows, vals = projectPrefixRange(s, r, p, 0, n)
+		})
 		return fromSorted(sorted, rows, vals), nil
 	}
 	b := NewBuilderHint(s, sorted, n)
@@ -418,21 +418,22 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 	if vcol == a-1 {
 		// Eliminating the innermost variable: the remaining columns are a
 		// schema prefix, so groups are contiguous — no map, no re-sort.
-		rows := make([]int32, 0, n*p)
-		vals := make([]T, 0, n)
-		for i := 0; i < n; {
-			j := i + 1
-			acc := op.Combine(op.Identity(), r.vals[i])
-			for j < n && compareShared(r.rows[i*a:], r.rows[j*a:], p) == 0 {
-				acc = op.Combine(acc, r.vals[j])
-				j++
+		// With p ≥ 1 the run reduction range-splits on group boundaries
+		// (p = 0 collapses everything into one group, which cannot split).
+		if p >= 1 {
+			if parts := parallelParts(n); parts > 1 {
+				return eliminatePrefixParallel(s, r, rest, op, domSize, p, parts), nil
 			}
-			if !(op.IsProduct() && j-i < domSize) && !s.IsZero(acc) {
-				rows = append(rows, r.rows[i*a:i*a+p]...)
-				vals = append(vals, acc)
-			}
-			i = j
 		}
+		divN := 0
+		if p >= 1 {
+			divN = n // eliminatePrefixParallel is the partitioned twin
+		}
+		var rows []int32
+		var vals []T
+		markDivisible(divN, func() {
+			rows, vals = eliminatePrefixRange(s, r, op, domSize, p, 0, n)
+		})
 		return fromSorted(rest, rows, vals), nil
 	}
 

@@ -1,0 +1,294 @@
+// Package service is the query-serving layer on top of the plan cache:
+// it admits FAQ requests, fingerprints their shape, binds the cached
+// compiled plan (compiling once per shape under singleflight) to the
+// request's fresh factor data, and executes on the shared exec pool with
+// per-request cancellation. A batching path groups same-plan requests so
+// one cache round-trip serves the whole group.
+//
+// Answer contract: a served answer is exactly faq.SolveOnGHD(q, g) for
+// the bound plan GHD g. For exact semirings (Bool, Count, F2) that is
+// bit-identical to per-request planning (faq.Solve) at every worker
+// count; float semirings are equal modulo the semiring's re-association
+// tolerance, the same allowance the distributed protocols need. Shapes
+// violating the paper's free-variable restriction (F ⊄ every bag,
+// Appendix G.5) fall back to faq.BruteForce, mirroring the solver
+// contract.
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// Info reports how one request was served.
+type Info struct {
+	PlanHash uint64 `json:"-"`
+	CacheHit bool   `json:"cache_hit"`
+	Fallback bool   `json:"fallback"`
+	CanonNS  int64  `json:"canon_ns"`
+	PlanNS   int64  `json:"plan_ns"` // cache round-trip (compile on miss)
+	BindNS   int64  `json:"bind_ns"`
+	ExecNS   int64  `json:"exec_ns"`
+	TotalNS  int64  `json:"total_ns"`
+}
+
+// Service serves queries of one semiring. Instances share a plan.Cache
+// (keys are namespaced by the semiring name) and the process-wide exec
+// pool.
+type Service[T any] struct {
+	s     semiring.Semiring[T]
+	name  string
+	cache *plan.Cache
+
+	requests  atomic.Int64
+	batches   atomic.Int64
+	fallbacks atomic.Int64
+	errors    atomic.Int64
+}
+
+// New returns a service over semiring s. name namespaces the cache keys
+// (use the wire semiring name); cache may be shared across services.
+func New[T any](s semiring.Semiring[T], name string, cache *plan.Cache) *Service[T] {
+	return &Service[T]{s: s, name: name, cache: cache}
+}
+
+// Cache exposes the underlying plan cache (stats endpoints read it).
+func (sv *Service[T]) Cache() *plan.Cache { return sv.cache }
+
+// Semiring returns the semiring the service evaluates over (wire
+// adapters build typed queries with it).
+func (sv *Service[T]) Semiring() semiring.Semiring[T] { return sv.s }
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Semiring  string `json:"semiring"`
+	Requests  int64  `json:"requests"`
+	Batches   int64  `json:"batches"`
+	Fallbacks int64  `json:"fallbacks"`
+	Errors    int64  `json:"errors"`
+}
+
+// Stats returns the current counters.
+func (sv *Service[T]) Stats() Stats {
+	return Stats{
+		Semiring:  sv.name,
+		Requests:  sv.requests.Load(),
+		Batches:   sv.batches.Load(),
+		Fallbacks: sv.fallbacks.Load(),
+		Errors:    sv.errors.Load(),
+	}
+}
+
+// opNames derives the renaming-invariant aggregate markers of a query's
+// bound-variable overrides. Plan structure does not depend on the
+// operator, so the coarse product/semiring distinction suffices.
+func opNames[T any](q *faq.Query[T]) map[int]string {
+	if len(q.VarOps) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(q.VarOps))
+	for v, op := range q.VarOps {
+		if op.IsProduct() {
+			out[v] = "mul"
+		} else {
+			out[v] = "agg"
+		}
+	}
+	return out
+}
+
+// Solve serves one request: fingerprint, cached plan, bind, execute.
+// ctx cancels cooperatively — the GHD pass stops dispatching node tasks
+// once ctx is done (exec.Pool.ForestCtx) and ctx.Err() is returned.
+func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Relation[T], Info, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	sv.requests.Add(1)
+	var info Info
+	fail := func(err error) (*relation.Relation[T], Info, error) {
+		sv.errors.Add(1)
+		info.TotalNS = time.Since(t0).Nanoseconds()
+		return nil, info, err
+	}
+	if err := q.Validate(); err != nil {
+		return fail(err)
+	}
+	fp, err := plan.Canonicalize(q.H, q.Free, opNames(q))
+	if err != nil {
+		return fail(err)
+	}
+	info.CanonNS = time.Since(t0).Nanoseconds()
+
+	tp := time.Now()
+	p, hit, err := sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
+	if err != nil {
+		return fail(err)
+	}
+	info.PlanNS = time.Since(tp).Nanoseconds()
+	info.PlanHash = p.Hash
+	info.CacheHit = hit
+
+	ans, err := sv.execute(ctx, q, p, fp, &info)
+	if err != nil {
+		return fail(err)
+	}
+	info.TotalNS = time.Since(t0).Nanoseconds()
+	return ans, info, nil
+}
+
+// execute binds and runs one request against a resolved plan.
+func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan, fp *plan.Fingerprint, info *Info) (*relation.Relation[T], error) {
+	if p.Fallback {
+		info.Fallback = true
+		sv.fallbacks.Add(1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		te := time.Now()
+		ans, err := faq.BruteForce(q)
+		info.ExecNS = time.Since(te).Nanoseconds()
+		if err != nil {
+			return nil, err
+		}
+		p.RecordExec(nil)
+		return ans, nil
+	}
+	tb := time.Now()
+	g, err := p.Bind(fp, q.H)
+	if err != nil {
+		return nil, err
+	}
+	info.BindNS = time.Since(tb).Nanoseconds()
+	te := time.Now()
+	ans, costs, err := faq.SolveOnGHDCtx(ctx, q, g)
+	info.ExecNS = time.Since(te).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	p.RecordExec(costs)
+	return ans, nil
+}
+
+// SolveBatch serves a batch, grouping same-plan requests: each distinct
+// shape does one cache round-trip (one compile under singleflight), then
+// the requests fan out across the exec pool — per-request results and
+// errors align with the input slice, and a canceled ctx stops dispatch.
+func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*relation.Relation[T], []Info, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sv.batches.Add(1)
+	n := len(qs)
+	answers := make([]*relation.Relation[T], n)
+	infos := make([]Info, n)
+	errs := make([]error, n)
+	starts := make([]time.Time, n)
+
+	// Phase 1: fingerprint everything and group by shape key. Every
+	// request keeps its own Fingerprint — members of one group are
+	// renamed variants of the shape, and each binds the shared plan
+	// through its own variable/edge maps.
+	type group struct {
+		fp      *plan.Fingerprint // the first member's (compile input)
+		members []int
+		p       *plan.Plan
+		err     error
+	}
+	// Validation and canonicalization are independent per request — the
+	// dominant warm-path CPU cost — so they fan out across the pool;
+	// grouping itself stays a sequential request-order scan to keep the
+	// group order deterministic.
+	fps := make([]*plan.Fingerprint, n)
+	exec.Default().Map(n, func(i int) {
+		starts[i] = time.Now()
+		sv.requests.Add(1)
+		q := qs[i]
+		if err := q.Validate(); err != nil {
+			errs[i] = err
+			sv.errors.Add(1)
+			return
+		}
+		fp, err := plan.Canonicalize(q.H, q.Free, opNames(q))
+		if err != nil {
+			errs[i] = err
+			sv.errors.Add(1)
+			return
+		}
+		fps[i] = fp
+		infos[i].CanonNS = time.Since(starts[i]).Nanoseconds()
+		infos[i].PlanHash = fp.Hash
+	})
+	groups := make(map[string]*group)
+	var order []*group
+	for i := range qs {
+		fp := fps[i]
+		if fp == nil {
+			continue
+		}
+		key := sv.name + "|" + fp.Key
+		g, ok := groups[key]
+		if !ok {
+			g = &group{fp: fp}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.members = append(g.members, i)
+	}
+
+	// Phase 2: one cache round-trip per distinct shape, distinct shapes
+	// compiling concurrently across the pool (the cache's singleflight
+	// handles any overlap with other callers).
+	exec.Default().Map(len(order), func(gi int) {
+		g := order[gi]
+		tp := time.Now()
+		fp := g.fp
+		p, hit, err := sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
+		planNS := time.Since(tp).Nanoseconds()
+		g.p, g.err = p, err
+		for mi, i := range g.members {
+			infos[i].PlanNS = planNS
+			infos[i].CacheHit = hit || mi > 0
+		}
+	})
+
+	// Phase 3: one flat fan-out over every request — no barrier between
+	// groups, so a slow group cannot idle the rest of the batch. Each
+	// request's own work is unchanged from Solve, so per-request answers
+	// keep the service answer contract; nested pool calls are safe
+	// because pools spawn goroutines per call.
+	groupOf := make([]*group, n)
+	for _, g := range order {
+		for _, i := range g.members {
+			groupOf[i] = g
+		}
+	}
+	exec.Default().Map(n, func(i int) {
+		g := groupOf[i]
+		if g == nil {
+			return // failed phase 1 (error already recorded)
+		}
+		if g.err != nil {
+			errs[i] = g.err
+			sv.errors.Add(1)
+			return
+		}
+		ans, err := sv.execute(ctx, qs[i], g.p, fps[i], &infos[i])
+		if err != nil {
+			errs[i] = err
+			sv.errors.Add(1)
+			return
+		}
+		answers[i] = ans
+		infos[i].TotalNS = time.Since(starts[i]).Nanoseconds()
+	})
+	return answers, infos, errs
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+func bitIdentical[T comparable](a, b *relation.Relation[T]) bool {
+	if len(a.Schema()) != len(b.Schema()) || a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Schema() {
+		if a.Schema()[i] != b.Schema()[i] {
+			return false
+		}
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !slices.Equal(a.Tuple(i), b.Tuple(i)) || a.Value(i) != b.Value(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func countQuery(t *testing.T, edges [][]int, nv, n, dom int, free []int, seed int64) *faq.Query[int64] {
+	t.Helper()
+	h := hypergraph.New(nv)
+	for _, e := range edges {
+		h.AddEdge(e...)
+	}
+	s := semiring.Count{}
+	r := rand.New(rand.NewSource(seed))
+	factors := make([]*relation.Relation[int64], h.NumEdges())
+	for e := range factors {
+		b := relation.NewBuilder[int64](s, h.Edge(e))
+		tuple := make([]int, len(h.Edge(e)))
+		for i := 0; i < n; i++ {
+			for j := range tuple {
+				tuple[j] = r.Intn(dom)
+			}
+			b.Add(tuple, int64(1+r.Intn(3)))
+		}
+		factors[e] = b.Build()
+	}
+	return &faq.Query[int64]{S: s, H: h, Factors: factors, Free: free, DomSize: dom}
+}
+
+var pathEdges = [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+
+// TestServiceSolveMatchesDirect: cold request, then warm repeats, each
+// bit-identical to per-request faq.Solve (Count is exact, so bit-identity
+// holds regardless of which minimal GHD the planner picked).
+func TestServiceSolveMatchesDirect(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	for rep := 0; rep < 3; rep++ {
+		q := countQuery(t, pathEdges, 5, 50, 8, []int{0}, int64(600+rep))
+		want, err := faq.Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, info, err := sv.Solve(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(ans, want) {
+			t.Fatalf("rep %d: service answer differs from direct solve", rep)
+		}
+		if (rep > 0) != info.CacheHit {
+			t.Fatalf("rep %d: CacheHit = %v", rep, info.CacheHit)
+		}
+	}
+	if st := sv.Cache().Stats(); st.Compiles != 1 || st.Hits != 2 {
+		t.Fatalf("cache stats %+v, want 1 compile / 2 hits", st)
+	}
+	if st := sv.Stats(); st.Requests != 3 || st.Errors != 0 {
+		t.Fatalf("service stats %+v", st)
+	}
+}
+
+// TestServiceFallback: a free set no bag covers is served by BruteForce
+// with Fallback marked, and the (negative) planning result is cached.
+func TestServiceFallback(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	for rep := 0; rep < 2; rep++ {
+		q := countQuery(t, pathEdges, 5, 20, 6, []int{0, 4}, int64(610+rep))
+		want, err := faq.BruteForce(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, info, err := sv.Solve(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Fallback {
+			t.Fatal("want Fallback")
+		}
+		if !bitIdentical(ans, want) {
+			t.Fatal("fallback answer differs from BruteForce")
+		}
+	}
+	if st := sv.Cache().Stats(); st.Compiles != 1 {
+		t.Fatalf("fallback plan not cached: %+v", st)
+	}
+}
+
+// TestServiceCancellation: an already-canceled ctx stops the request with
+// ctx.Err() before (or during) the GHD pass.
+func TestServiceCancellation(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	q := countQuery(t, pathEdges, 5, 50, 8, []int{0}, 620)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := sv.Solve(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The same shape still serves fine with a live ctx.
+	if _, _, err := sv.Solve(context.Background(), q); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+}
+
+// renameEdges applies a vertex-id bijection to an edge list (batch
+// members of one plan group are renamed variants, each of which must
+// bind the shared plan through its own maps).
+func renameEdges(edges [][]int, perm []int) [][]int {
+	out := make([][]int, len(edges))
+	for i, e := range edges {
+		ne := make([]int, len(e))
+		for j, v := range e {
+			ne[j] = perm[v]
+		}
+		out[i] = ne
+	}
+	return out
+}
+
+// TestServiceBatchGroupsPlans: a mixed batch compiles once per distinct
+// shape — including renamed variants, which share the group but carry
+// their own fingerprints — answers align with inputs and match direct
+// solves, and errors stay per-request.
+func TestServiceBatchGroupsPlans(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	starEdges := [][]int{{0, 1}, {0, 2}, {0, 3}}
+	perms5 := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}}
+	perms4 := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	var qs []*faq.Query[int64]
+	for i := 0; i < 4; i++ {
+		qs = append(qs, countQuery(t, renameEdges(pathEdges, perms5[i]), 5, 40, 8, []int{perms5[i][0]}, int64(700+i)))
+		qs = append(qs, countQuery(t, renameEdges(starEdges, perms4[i]), 4, 40, 8, []int{perms4[i][0]}, int64(720+i)))
+	}
+	// One malformed request in the middle: free variable out of range.
+	bad := countQuery(t, pathEdges, 5, 10, 8, nil, 730)
+	bad.Free = []int{99}
+	qs = append(qs[:3], append([]*faq.Query[int64]{bad}, qs[3:]...)...)
+
+	answers, infos, errs := sv.SolveBatch(context.Background(), qs)
+	for i, q := range qs {
+		if q == bad {
+			if errs[i] == nil {
+				t.Fatalf("request %d: want validation error", i)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want, err := faq.Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(answers[i], want) {
+			t.Fatalf("request %d: batch answer differs from direct solve", i)
+		}
+		_ = infos[i]
+	}
+	if st := sv.Cache().Stats(); st.Compiles != 2 {
+		t.Fatalf("batch compiled %d plans for 2 shapes", st.Compiles)
+	}
+}
+
+// TestWireRoundTrip drives BuildQuery/AnswerToWire: a wire request built
+// from a query solves to the same answer as the native query.
+func TestWireRoundTrip(t *testing.T) {
+	s := semiring.Count{}
+	wr := &WireRequest{
+		Semiring: "count",
+		Edges:    [][]string{{"A", "B"}, {"B", "C"}},
+		Factors: []WireFactor{
+			{Tuples: [][]int{{0, 1}, {1, 1}, {2, 0}}, Values: []float64{1, 2, 1}},
+			{Tuples: [][]int{{1, 0}, {1, 2}, {0, 2}}},
+		},
+		Free: []string{"A"},
+		Dom:  3,
+	}
+	q, err := BuildQuery[int64](s, wr, func(v float64) int64 { return int64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := New[int64](s, "count", plan.NewCache(4))
+	ans, info, err := sv.Solve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := faq.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(ans, want) {
+		t.Fatal("wire-built query answer differs from direct solve")
+	}
+	wa := AnswerToWire(q, ans, func(v int64) float64 { return float64(v) }, info)
+	if len(wa.Schema) != 1 || wa.Schema[0] != "A" {
+		t.Fatalf("wire schema %v", wa.Schema)
+	}
+	if len(wa.Tuples) != ans.Len() {
+		t.Fatalf("wire tuples %d != %d", len(wa.Tuples), ans.Len())
+	}
+}
+
+// TestWireMalformed pins BuildQuery's validation errors.
+func TestWireMalformed(t *testing.T) {
+	s := semiring.Count{}
+	conv := func(v float64) int64 { return int64(v) }
+	cases := []*WireRequest{
+		{Semiring: "count", Dom: 3},
+		{Semiring: "count", Edges: [][]string{{"A"}}, Dom: 3},
+		{Semiring: "count", Edges: [][]string{{}}, Factors: []WireFactor{{}}, Dom: 3},
+		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0, 1}}}}, Dom: 3},
+		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}}}, Dom: 0},
+		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}, Values: []float64{}}}, Dom: 3},
+		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}}}, Free: []string{"Z"}, Dom: 3},
+	}
+	for i, wr := range cases {
+		if _, err := BuildQuery[int64](s, wr, conv); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

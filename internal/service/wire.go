@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faq"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// Wire types: the JSON request/response schema of cmd/faqd's /solve
+// endpoint, shared with cmd/faqload. Values travel as float64 for every
+// semiring (exact for bool/count within 2^53; the float semirings are
+// float64 natively); a nil Values slice annotates every tuple with the
+// semiring's 1 — the natural encoding of ordinary database tuples.
+
+// WireFactor is one input relation in listing representation.
+type WireFactor struct {
+	Tuples [][]int   `json:"tuples"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// WireRequest is one /solve request.
+type WireRequest struct {
+	// Semiring: bool | count | sumproduct | minplus | maxtimes.
+	Semiring string `json:"semiring"`
+	// Edges lists the query hyperedges as vertex-name lists; Factors[i]
+	// is the relation on Edges[i] (tuple columns in the edge's order).
+	Edges   [][]string   `json:"edges"`
+	Factors []WireFactor `json:"factors"`
+	// Free lists the free-variable names (may be empty: scalar answer).
+	Free []string `json:"free,omitempty"`
+	// Dom is the domain size D (tuple values live in [0, Dom)).
+	Dom int `json:"dom"`
+}
+
+// WireAnswer is one /solve response.
+type WireAnswer struct {
+	Schema []string  `json:"schema"`
+	Tuples [][]int   `json:"tuples"`
+	Values []float64 `json:"values"`
+	// Serving metadata.
+	PlanHash string `json:"plan_hash"`
+	Info     Info   `json:"info"`
+}
+
+// SemiringNames lists the wire semiring names faqd accepts.
+var SemiringNames = []string{"bool", "count", "sumproduct", "minplus", "maxtimes"}
+
+// BuildQuery assembles a typed FAQ query from a wire request. conv maps
+// wire float64 values into the semiring's value type.
+func BuildQuery[T any](s semiring.Semiring[T], wr *WireRequest, conv func(float64) T) (*faq.Query[T], error) {
+	if len(wr.Edges) == 0 {
+		return nil, fmt.Errorf("service: request has no edges")
+	}
+	if len(wr.Factors) != len(wr.Edges) {
+		return nil, fmt.Errorf("service: %d factors for %d edges", len(wr.Factors), len(wr.Edges))
+	}
+	if wr.Dom < 1 {
+		return nil, fmt.Errorf("service: dom must be positive, got %d", wr.Dom)
+	}
+	b := hypergraph.NewBuilder()
+	for i, names := range wr.Edges {
+		if len(names) == 0 {
+			return nil, fmt.Errorf("service: edge %d is empty", i)
+		}
+		b.Edge(names...)
+	}
+	h := b.Build()
+	factors := make([]*relation.Relation[T], h.NumEdges())
+	for e, wf := range wr.Factors {
+		edgeVars := h.Edge(e)
+		// The wire tuple order follows the request's name order for the
+		// edge; map name positions to variable ids, dropping duplicate
+		// name occurrences the hypergraph deduplicated.
+		nameIDs := make([]int, 0, len(wr.Edges[e]))
+		seen := map[int]bool{}
+		for _, name := range wr.Edges[e] {
+			id := b.VertexID(name)
+			if !seen[id] {
+				seen[id] = true
+				nameIDs = append(nameIDs, id)
+			}
+		}
+		if len(nameIDs) != len(edgeVars) {
+			return nil, fmt.Errorf("service: edge %d name/vertex mismatch", e)
+		}
+		rb := relation.NewBuilderHint(s, nameIDs, len(wf.Tuples))
+		for ti, tuple := range wf.Tuples {
+			if len(tuple) != len(nameIDs) {
+				return nil, fmt.Errorf("service: factor %d tuple %d has arity %d, want %d", e, ti, len(tuple), len(nameIDs))
+			}
+			// Range-check before the builder's int32 narrowing: an
+			// out-of-range wire value must 4xx here, not wrap modulo 2^32
+			// into the valid domain and serve a silently wrong answer.
+			for j, x := range tuple {
+				if x < 0 || x >= wr.Dom {
+					return nil, fmt.Errorf("service: factor %d tuple %d column %d value %d outside domain [0,%d)", e, ti, j, x, wr.Dom)
+				}
+			}
+			v := s.One()
+			if wf.Values != nil {
+				if ti >= len(wf.Values) {
+					return nil, fmt.Errorf("service: factor %d has %d values for %d tuples", e, len(wf.Values), len(wf.Tuples))
+				}
+				v = conv(wf.Values[ti])
+			}
+			rb.Add(tuple, v)
+		}
+		factors[e] = rb.Build()
+	}
+	free := make([]int, 0, len(wr.Free))
+	for _, name := range wr.Free {
+		id := b.VertexID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("service: free variable %q appears in no edge", name)
+		}
+		free = append(free, id)
+	}
+	sort.Ints(free)
+	free = dedupSorted(free)
+	return &faq.Query[T]{S: s, H: h, Factors: factors, Free: free, DomSize: wr.Dom}, nil
+}
+
+// AnswerToWire renders an answer relation with the query's vertex names.
+func AnswerToWire[T any](q *faq.Query[T], ans *relation.Relation[T], back func(T) float64, info Info) *WireAnswer {
+	wa := &WireAnswer{
+		Schema:   make([]string, len(ans.Schema())),
+		Tuples:   make([][]int, ans.Len()),
+		Values:   make([]float64, ans.Len()),
+		PlanHash: fmt.Sprintf("%016x", info.PlanHash),
+		Info:     info,
+	}
+	for i, v := range ans.Schema() {
+		wa.Schema[i] = q.H.VertexName(v)
+	}
+	for i := 0; i < ans.Len(); i++ {
+		t := ans.Tuple(i)
+		row := make([]int, len(t))
+		for j, x := range t {
+			row[j] = int(x)
+		}
+		wa.Tuples[i] = row
+		wa.Values[i] = back(ans.Value(i))
+	}
+	return wa
+}
+
+func dedupSorted(a []int) []int {
+	out := a[:0]
+	for i, x := range a {
+		if i == 0 || x != a[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
