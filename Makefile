@@ -24,6 +24,11 @@
 #                 answer verified against per-request planning)
 #   make smoke-service — tiny-n end-to-end smoke of faqd + faqload over
 #                 HTTP (wired into CI)
+#   make examples — build and run every examples/ program (all are
+#                 clients of the public faqs façade; wired into CI)
+#   make vet-imports — fail if cmd/ or examples/ import internal/
+#                 packages directly instead of going through the public
+#                 faqs façade (allowlist below; part of `make check`)
 
 GO        ?= go
 BENCHTIME ?= 0.5s
@@ -31,9 +36,16 @@ FUZZTIME  ?= 30s
 SMOKEADDR ?= 127.0.0.1:18080
 
 # The packages holding the parallel≡sequential equivalence suites.
-WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/
+WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./faqs/
 
-.PHONY: build test vet race check bench bench-parallel bench-all fuzz test-workers bench-service smoke-service
+# Packages that must reach internal functionality only via the public
+# faqs façade. The bench/diagnostic harnesses stay off the list by
+# design: faqbench regenerates the paper tables from the internals,
+# faqload verifies served answers against the internal reference
+# solvers, and ghdtool dumps GYO traces no public API exposes.
+FACADE_ONLY = ./cmd/faqd ./cmd/faqrun ./examples/...
+
+.PHONY: build test vet vet-imports race check bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
 
 build:
 	$(GO) build ./...
@@ -44,10 +56,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+vet-imports:
+	@viol=$$($(GO) list -f '{{$$p := .ImportPath}}{{range .Imports}}{{$$p}} imports {{.}}{{"\n"}}{{end}}' $(FACADE_ONLY) | grep 'repro/internal/' || true); \
+	if [ -n "$$viol" ]; then \
+		echo "$$viol"; \
+		echo "error: cmd/ and examples/ programs must use the public faqs façade, not internal/ packages"; \
+		exit 1; \
+	fi
+	@echo "vet-imports: cmd/ and examples/ use only the faqs façade"
+
 race:
 	$(GO) test -race ./...
 
-check: build vet test
+check: build vet vet-imports test
+
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d; \
+	done
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) -json \
@@ -68,6 +96,7 @@ test-workers:
 fuzz:
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzJoinMergeParallel -fuzztime=$(FUZZTIME)
+	$(GO) test ./faqs/ -run=NONE -fuzz=FuzzQueryBuilder -fuzztime=$(FUZZTIME)
 
 bench-service:
 	$(GO) run ./cmd/faqload -out BENCH_service.json

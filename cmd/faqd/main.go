@@ -1,24 +1,29 @@
-// Command faqd is the FAQ query server: it keeps one service per
-// semiring over a shared compiled-plan cache and serves JSON queries over
-// HTTP. Plans compile once per query shape (variable-renaming-invariant
+// Command faqd is the FAQ query server: a thin HTTP shell over the
+// public faqs.Engine, so the daemon and the embedded library share one
+// execution path (fingerprint → cached plan → bind → GHD pass). Plans
+// compile once per query shape (variable-renaming-invariant
 // fingerprinting, singleflight) and every request binds the cached plan
 // to its own factor data.
 //
 // Endpoints:
 //
-//	POST /solve   — solve one WireRequest (see internal/service), returns
-//	                the answer relation plus serving metadata
+//	POST /solve   — solve one faqs.WireRequest, returns the answer plus
+//	                serving metadata; the plan fingerprint and cache
+//	                hit/miss also travel as X-Faqs-Plan-Fingerprint and
+//	                X-Faqs-Plan-Cache response headers
+//	POST /explain — compile/fetch the plan only: GHD tree, y(H)/n₂(H)/
+//	                width/depth, per-node bounds, fingerprint, hit/miss
 //	GET  /stats   — cache and service counters, resident plan table
 //	GET  /healthz — liveness
 //
 // Usage:
 //
-//	faqd -addr :8080 -cache 256 -workers 0
+//	faqd -addr :8080 -cache 256 -workers 0 -budget 0
 package main
 
 import (
-	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,61 +32,54 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/exec"
-	"repro/internal/plan"
-	"repro/internal/relation"
-	"repro/internal/semiring"
-	"repro/internal/service"
+	"repro/faqs"
 )
 
 // maxRequestBytes bounds /solve bodies (64 MiB: ~1M tuples of arity 8).
 const maxRequestBytes = 64 << 20
 
 type server struct {
-	cache      *plan.Cache
-	boolSvc    *service.Service[bool]
-	countSvc   *service.Service[int64]
-	sumSvc     *service.Service[float64]
-	minplusSvc *service.Service[float64]
-	maxSvc     *service.Service[float64]
-	started    time.Time
+	engine  *faqs.Engine
+	started time.Time
 }
 
-func newServer(cacheSize int) *server {
-	c := plan.NewCache(cacheSize)
-	return &server{
-		cache:      c,
-		boolSvc:    service.New[bool](semiring.Bool{}, "bool", c),
-		countSvc:   service.New[int64](semiring.Count{}, "count", c),
-		sumSvc:     service.New[float64](semiring.SumProduct{}, "sumproduct", c),
-		minplusSvc: service.New[float64](semiring.MinPlus{}, "minplus", c),
-		maxSvc:     service.New[float64](semiring.MaxTimes{}, "maxtimes", c),
-		started:    time.Now(),
-	}
+func newServer(opts ...faqs.Option) *server {
+	return &server{engine: faqs.NewEngine(opts...), started: time.Now()}
+}
+
+// mux wires the handler table (shared with the handler tests).
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cacheSize := flag.Int("cache", plan.DefaultCacheSize, "plan cache capacity (compiled query shapes)")
+	cacheSize := flag.Int("cache", 0, "plan cache capacity in compiled query shapes (0 = default)")
 	workers := flag.Int("workers", 0, "exec pool workers (0 = GOMAXPROCS)")
+	budget := flag.Int64("budget", 0, "per-request memory budget in bytes for admission control (0 = unlimited)")
 	flag.Parse()
 	if *workers > 0 {
-		exec.SetWorkers(*workers)
+		faqs.SetDefaultWorkers(*workers)
 	}
-	srv := newServer(*cacheSize)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", srv.handleSolve)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	log.Printf("faqd: listening on %s (cache %d plans, %d workers)", *addr, *cacheSize, exec.Workers())
+	srv := newServer(
+		faqs.WithPlanCache(*cacheSize),
+		faqs.WithMemoryBudget(*budget),
+	)
+	log.Printf("faqd: listening on %s (cache %d plans, %d workers, budget %d)",
+		*addr, srv.engine.Stats().Cache.Capacity, faqs.DefaultWorkers(), *budget)
 	// Header/idle timeouts bound slow-loris connections; request bodies
 	// are already capped by MaxBytesReader. No WriteTimeout: solve time
 	// is query-dependent and cancellation rides the request context.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -96,91 +94,86 @@ type wireError struct {
 	Error string `json:"error"`
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+// decodeRequest reads one bounded JSON WireRequest body.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*faqs.WireRequest, bool) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
+		return nil, false
 	}
-	var wr service.WireRequest
+	var wr faqs.WireRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&wr); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return nil, false
+	}
+	return &wr, true
+}
+
+// planHeaders surfaces the serving metadata every response carries.
+func planHeaders(w http.ResponseWriter, fingerprint string, cacheHit bool) {
+	w.Header().Set("X-Faqs-Plan-Fingerprint", fingerprint)
+	if cacheHit {
+		w.Header().Set("X-Faqs-Plan-Cache", "hit")
+	} else {
+		w.Header().Set("X-Faqs-Plan-Cache", "miss")
+	}
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	wr, ok := decodeRequest(w, r)
+	if !ok {
 		return
 	}
-	var wa *service.WireAnswer
-	var err error
-	ctx := r.Context() // per-request cancellation: client disconnect stops the GHD pass
-	switch wr.Semiring {
-	case "bool":
-		wa, err = solveWire(ctx, s.boolSvc, &wr,
-			func(v float64) bool { return v != 0 },
-			func(v bool) float64 {
-				if v {
-					return 1
-				}
-				return 0
-			})
-	case "count":
-		wa, err = solveWire(ctx, s.countSvc, &wr,
-			func(v float64) int64 { return int64(v) },
-			func(v int64) float64 { return float64(v) })
-	case "sumproduct":
-		wa, err = solveWire(ctx, s.sumSvc, &wr, ident, ident)
-	case "minplus":
-		wa, err = solveWire(ctx, s.minplusSvc, &wr, ident, ident)
-	case "maxtimes":
-		wa, err = solveWire(ctx, s.maxSvc, &wr, ident, ident)
-	default:
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown semiring %q (have %v)", wr.Semiring, service.SemiringNames))
+	// Per-request cancellation: client disconnect stops the GHD pass.
+	wa, err := s.engine.SolveWire(r.Context(), wr)
+	if err != nil {
+		httpError(w, solveErrorStatus(err), err)
 		return
 	}
+	planHeaders(w, wa.PlanHash, wa.CacheHit)
+	writeJSON(w, http.StatusOK, wa)
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	wr, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	q, err := faqs.BuildWireQuery(wr)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wa)
+	ex, err := s.engine.Explain(q)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	planHeaders(w, ex.Fingerprint, ex.CacheHit)
+	writeJSON(w, http.StatusOK, ex)
 }
 
-func ident(v float64) float64 { return v }
-
-// solveWire is the generic request path: build the typed query, serve it,
-// and render the answer.
-func solveWire[T any](ctx context.Context, sv *service.Service[T], wr *service.WireRequest,
-	conv func(float64) T, back func(T) float64) (*service.WireAnswer, error) {
-	q, err := service.BuildQuery(sv.Semiring(), wr, conv)
-	if err != nil {
-		return nil, err
+// solveErrorStatus maps serving failures onto HTTP: admission-control
+// rejections are load shedding (429), everything else is an
+// unprocessable request.
+func solveErrorStatus(err error) int {
+	if errors.Is(err, faqs.ErrOverBudget) {
+		return http.StatusTooManyRequests
 	}
-	var ans *relation.Relation[T]
-	var info service.Info
-	ans, info, err = sv.Solve(ctx, q)
-	if err != nil {
-		return nil, err
-	}
-	return service.AnswerToWire(q, ans, back, info), nil
+	return http.StatusUnprocessableEntity
 }
 
 type statsPayload struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Workers       int             `json:"workers"`
-	GoMaxProcs    int             `json:"gomaxprocs"`
-	Cache         plan.CacheStats `json:"cache"`
-	Services      []service.Stats `json:"services"`
-	Plans         []plan.Snapshot `json:"plans"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	faqs.Stats
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Workers:       exec.Workers(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Cache:         s.cache.Stats(),
-		Services: []service.Stats{
-			s.boolSvc.Stats(), s.countSvc.Stats(), s.sumSvc.Stats(),
-			s.minplusSvc.Stats(), s.maxSvc.Stats(),
-		},
-		Plans: s.cache.Plans(),
+		Stats:         s.engine.Stats(),
 	})
 }
 

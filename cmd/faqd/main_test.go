@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/faqs"
+)
+
+// testRequest is a small two-edge count query over a path shape.
+func testRequest() *faqs.WireRequest {
+	return &faqs.WireRequest{
+		Semiring: "count",
+		Edges:    [][]string{{"A", "B"}, {"B", "C"}},
+		Factors: []faqs.WireFactor{
+			{Tuples: [][]int{{0, 1}, {2, 1}, {3, 3}}},
+			{Tuples: [][]int{{1, 0}, {1, 2}, {3, 1}}},
+		},
+		Free: []string{"A"},
+		Dom:  4,
+	}
+}
+
+func postJSON(t *testing.T, mux *http.ServeMux, path string, payload any) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestSolveHandlerPlanHeaders is the satellite contract: /solve responses
+// carry the plan fingerprint and a cache-hit flag both as headers and as
+// JSON fields, and a repeated shape flips miss → hit with the same
+// fingerprint.
+func TestSolveHandlerPlanHeaders(t *testing.T) {
+	mux := newServer(faqs.WithPlanCache(16)).mux()
+
+	rec1 := postJSON(t, mux, "/solve", testRequest())
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("first solve: status %d, body %s", rec1.Code, rec1.Body.String())
+	}
+	fp1 := rec1.Header().Get("X-Faqs-Plan-Fingerprint")
+	if len(fp1) != 16 {
+		t.Fatalf("first solve: fingerprint header %q, want 16 hex chars", fp1)
+	}
+	if got := rec1.Header().Get("X-Faqs-Plan-Cache"); got != "miss" {
+		t.Errorf("first solve: cache header %q, want miss", got)
+	}
+	var wa1 faqs.WireAnswer
+	if err := json.Unmarshal(rec1.Body.Bytes(), &wa1); err != nil {
+		t.Fatalf("decode first answer: %v", err)
+	}
+	if wa1.PlanHash != fp1 {
+		t.Errorf("JSON plan_hash %q != header fingerprint %q", wa1.PlanHash, fp1)
+	}
+	if wa1.CacheHit {
+		t.Errorf("first solve: JSON cache_hit = true, want false")
+	}
+	// path7-free=A on this data: A∈{0,2} join via B=1, A=3 via B=3.
+	if len(wa1.Tuples) != 3 {
+		t.Errorf("answer rows = %d, want 3 (%v)", len(wa1.Tuples), wa1.Tuples)
+	}
+
+	rec2 := postJSON(t, mux, "/solve", testRequest())
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second solve: status %d, body %s", rec2.Code, rec2.Body.String())
+	}
+	if got := rec2.Header().Get("X-Faqs-Plan-Cache"); got != "hit" {
+		t.Errorf("second solve: cache header %q, want hit", got)
+	}
+	if got := rec2.Header().Get("X-Faqs-Plan-Fingerprint"); got != fp1 {
+		t.Errorf("second solve: fingerprint %q, want %q (same shape)", got, fp1)
+	}
+	var wa2 faqs.WireAnswer
+	if err := json.Unmarshal(rec2.Body.Bytes(), &wa2); err != nil {
+		t.Fatalf("decode second answer: %v", err)
+	}
+	if !wa2.CacheHit || !wa2.Info.CacheHit {
+		t.Errorf("second solve: JSON cache_hit = (%v, info %v), want true", wa2.CacheHit, wa2.Info.CacheHit)
+	}
+
+	// A renamed variant of the same shape shares the fingerprint.
+	renamed := testRequest()
+	renamed.Edges = [][]string{{"X", "Y"}, {"Y", "Z"}}
+	renamed.Free = []string{"X"}
+	rec3 := postJSON(t, mux, "/solve", renamed)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("renamed solve: status %d, body %s", rec3.Code, rec3.Body.String())
+	}
+	if got := rec3.Header().Get("X-Faqs-Plan-Fingerprint"); got != fp1 {
+		t.Errorf("renamed shape fingerprint %q, want %q (rename-invariant)", got, fp1)
+	}
+	if got := rec3.Header().Get("X-Faqs-Plan-Cache"); got != "hit" {
+		t.Errorf("renamed shape cache header %q, want hit", got)
+	}
+}
+
+// TestExplainHandler pins /explain: same fingerprint as /solve, widths
+// present, no execution.
+func TestExplainHandler(t *testing.T) {
+	mux := newServer(faqs.WithPlanCache(16)).mux()
+	rec := postJSON(t, mux, "/explain", testRequest())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var ex faqs.Explain
+	if err := json.Unmarshal(rec.Body.Bytes(), &ex); err != nil {
+		t.Fatalf("decode explain: %v", err)
+	}
+	if len(ex.Fingerprint) != 16 || ex.Fingerprint != rec.Header().Get("X-Faqs-Plan-Fingerprint") {
+		t.Errorf("explain fingerprint %q vs header %q", ex.Fingerprint, rec.Header().Get("X-Faqs-Plan-Fingerprint"))
+	}
+	if ex.Width != 1 || ex.Y != 1 || ex.Tree == "" {
+		t.Errorf("explain widths: width=%d y=%d tree=%q", ex.Width, ex.Y, ex.Tree)
+	}
+	// The explain populated the cache: a following solve hits.
+	rec2 := postJSON(t, mux, "/solve", testRequest())
+	if got := rec2.Header().Get("X-Faqs-Plan-Cache"); got != "hit" {
+		t.Errorf("solve after explain: cache header %q, want hit", got)
+	}
+}
+
+// TestSolveHandlerErrors pins the error statuses: malformed JSON 400,
+// unknown semiring and invalid queries 422, over-budget admission 429.
+func TestSolveHandlerErrors(t *testing.T) {
+	mux := newServer(faqs.WithPlanCache(16)).mux()
+
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader([]byte("{not json")))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", rec.Code)
+	}
+
+	bad := testRequest()
+	bad.Semiring = "no-such-semiring"
+	if rec := postJSON(t, mux, "/solve", bad); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown semiring: status %d, want 422", rec.Code)
+	}
+
+	bad = testRequest()
+	bad.Factors[0].Tuples[0][0] = 99 // outside Dom
+	if rec := postJSON(t, mux, "/solve", bad); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-domain tuple: status %d, want 422", rec.Code)
+	}
+
+	if rec := postJSON(t, mux, "/stats", nil); rec.Code != http.StatusOK {
+		t.Errorf("stats POST: status %d, want 200", rec.Code)
+	}
+
+	tight := newServer(faqs.WithPlanCache(16), faqs.WithMemoryBudget(8)).mux()
+	if rec := postJSON(t, tight, "/solve", testRequest()); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("over budget: status %d, want 429", rec.Code)
+	}
+}
+
+// TestStatsHandler decodes the stats payload and checks the counters
+// moved.
+func TestStatsHandler(t *testing.T) {
+	srv := newServer(faqs.WithPlanCache(16))
+	mux := srv.mux()
+	postJSON(t, mux, "/solve", testRequest())
+	postJSON(t, mux, "/solve", testRequest())
+
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	var st statsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Cache.Compiles != 1 || st.Cache.Hits != 1 {
+		t.Errorf("cache counters: compiles=%d hits=%d, want 1/1", st.Cache.Compiles, st.Cache.Hits)
+	}
+	var count *faqs.ServiceStats
+	for i := range st.Services {
+		if st.Services[i].Semiring == "count" {
+			count = &st.Services[i]
+		}
+	}
+	if count == nil || count.Requests != 2 {
+		t.Errorf("count service stats missing or wrong: %+v", count)
+	}
+	if len(st.Plans) != 1 {
+		t.Errorf("resident plans = %d, want 1", len(st.Plans))
+	}
+}

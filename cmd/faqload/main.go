@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/faqs"
 	"repro/internal/cli"
 	"repro/internal/exec"
 	"repro/internal/faq"
@@ -433,7 +434,7 @@ func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hy
 		if err != nil {
 			return fmt.Errorf("POST /solve: %w", err)
 		}
-		var wa service.WireAnswer
+		var wa faqs.WireAnswer
 		decErr := json.NewDecoder(resp.Body).Decode(&wa)
 		resp.Body.Close()
 		lats = append(lats, time.Since(t0).Nanoseconds())
@@ -476,8 +477,8 @@ func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hy
 
 // queryToWire renders a Count query as a wire request (vertex names are
 // the hypergraph's display names).
-func queryToWire(q *faq.Query[int64]) *service.WireRequest {
-	wr := &service.WireRequest{Semiring: "count", Dom: q.DomSize}
+func queryToWire(q *faq.Query[int64]) *faqs.WireRequest {
+	wr := &faqs.WireRequest{Semiring: "count", Dom: q.DomSize}
 	for e := 0; e < q.H.NumEdges(); e++ {
 		names := make([]string, len(q.H.Edge(e)))
 		for i, v := range q.H.Edge(e) {
@@ -485,7 +486,7 @@ func queryToWire(q *faq.Query[int64]) *service.WireRequest {
 		}
 		wr.Edges = append(wr.Edges, names)
 		f := q.Factors[e]
-		wf := service.WireFactor{Tuples: make([][]int, f.Len()), Values: make([]float64, f.Len())}
+		wf := faqs.WireFactor{Tuples: make([][]int, f.Len()), Values: make([]float64, f.Len())}
 		for t := 0; t < f.Len(); t++ {
 			row := make([]int, len(f.Tuple(t)))
 			for j, x := range f.Tuple(t) {
@@ -503,7 +504,7 @@ func queryToWire(q *faq.Query[int64]) *service.WireRequest {
 }
 
 // compareWire checks a wire answer against the reference relation.
-func compareWire(q *faq.Query[int64], want *relation.Relation[int64], wa *service.WireAnswer) error {
+func compareWire(q *faq.Query[int64], want *relation.Relation[int64], wa *faqs.WireAnswer) error {
 	if len(wa.Tuples) != want.Len() {
 		return fmt.Errorf("answer has %d tuples, want %d", len(wa.Tuples), want.Len())
 	}

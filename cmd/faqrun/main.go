@@ -1,14 +1,16 @@
 // Command faqrun executes one Boolean Conjunctive Query distributed over
 // a chosen topology and reports the answer, the measured round/bit cost
 // of the paper's main protocol and of the trivial baseline, and the
-// closed-form bounds.
+// closed-form bounds. It is a client of the public faqs façade — query
+// building, topology construction, and the distributed run all go
+// through the library API.
 //
 // Usage:
 //
 //	faqrun -query 'A,B;A,C;A,D' -topo line:4 -n 64 -output 0 -seed 1
 //
 // Topologies: line:k, clique:k, star:k, ring:k, grid:RxC. Factors are
-// random with n tuples each and are assigned round-robin to the nodes.
+// random with n tuples each and are assigned round-robin to the players.
 package main
 
 import (
@@ -17,11 +19,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/faq"
-	"repro/internal/workload"
+	"repro/faqs"
 )
 
 // usageError marks malformed command-line input: main prints the flag
@@ -50,52 +51,126 @@ func main() {
 	}
 }
 
+// parseEdges splits 'A,B;B,C' into edge name lists.
+func parseEdges(spec string) ([][]string, error) {
+	var edges [][]string
+	for i, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("edge %d is empty", i)
+		}
+		var names []string
+		for _, name := range strings.Split(part, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fmt.Errorf("edge %d has an empty vertex name", i)
+			}
+			names = append(names, name)
+		}
+		edges = append(edges, names)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("query has no edges")
+	}
+	return edges, nil
+}
+
+// parseTopology maps 'line:4' / 'grid:3x4' onto the faqs constructors.
+func parseTopology(spec string) (faqs.Topology, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return faqs.Topology{}, fmt.Errorf("topology %q: want kind:size", spec)
+	}
+	if kind == "grid" {
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return faqs.Topology{}, fmt.Errorf("grid topology %q: want grid:RxC", spec)
+		}
+		r, err1 := strconv.Atoi(rs)
+		c, err2 := strconv.Atoi(cs)
+		if err1 != nil || err2 != nil {
+			return faqs.Topology{}, fmt.Errorf("grid topology %q: bad dimensions", spec)
+		}
+		return faqs.Grid(r, c)
+	}
+	k, err := strconv.Atoi(arg)
+	if err != nil {
+		return faqs.Topology{}, fmt.Errorf("topology %q: bad size %q", spec, arg)
+	}
+	switch kind {
+	case "line":
+		return faqs.Line(k)
+	case "clique":
+		return faqs.Clique(k)
+	case "star":
+		return faqs.Star(k)
+	case "ring":
+		return faqs.Ring(k)
+	}
+	return faqs.Topology{}, fmt.Errorf("unknown topology kind %q (have line, clique, star, ring, grid)", kind)
+}
+
 func run(query, topo string, n, output int, seed int64) error {
-	h, err := cli.ParseQuery(query)
+	edges, err := parseEdges(query)
 	if err != nil {
 		return usageError{err}
 	}
-	g, err := cli.ParseTopology(topo)
+	g, err := parseTopology(topo)
 	if err != nil {
 		return usageError{err}
 	}
 	if n < 1 {
 		return usageError{fmt.Errorf("-n must be positive, got %d", n)}
 	}
+
+	// Random Boolean factors, n tuples each over domain [0, n).
 	r := rand.New(rand.NewSource(seed))
-	q := workload.BCQ(h, n, n, r)
-	players := make([]int, g.N())
-	for i := range players {
-		players[i] = i
+	qb := faqs.NewQuery(faqs.Bool).Domain(n)
+	for _, names := range edges {
+		sch, err := faqs.NewSchema(names...)
+		if err != nil {
+			return usageError{err}
+		}
+		rb := faqs.NewRelationBuilder(sch)
+		tuple := make([]int, sch.Arity())
+		for t := 0; t < n; t++ {
+			for i := range tuple {
+				tuple[i] = r.Intn(n)
+			}
+			rb.Add(tuple...)
+		}
+		rel, err := rb.Relation()
+		if err != nil {
+			return err
+		}
+		qb.Factor(rel)
 	}
-	assign := workload.RoundRobinAssignment(h.NumEdges(), players)
-	eng, err := core.New(q, g, assign, output)
+	q, err := qb.Build()
+	if err != nil {
+		return usageError{err}
+	}
+
+	assign := make([]int, len(edges))
+	for e := range assign {
+		assign[e] = e % g.Players()
+	}
+	eng := faqs.NewEngine()
+	nr, err := eng.SolveOnNetwork(q, g, assign, output)
 	if err != nil {
 		return err
 	}
-	ans, rep, err := eng.Run()
+	v, err := nr.Answer.Scalar()
 	if err != nil {
 		return err
 	}
-	v, err := faq.BCQValue(q, ans)
-	if err != nil {
-		return err
-	}
-	_, repT, err := eng.RunTrivial()
-	if err != nil {
-		return err
-	}
-	bounds, err := eng.Bounds()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("query      : %s on %s, N = %d\n", h, g, n)
-	fmt.Printf("answer     : %v (at player %d)\n", v, output)
-	fmt.Printf("main       : %d rounds, %d bits\n", rep.Rounds, rep.Bits)
-	fmt.Printf("trivial    : %d rounds, %d bits\n", repT.Rounds, repT.Bits)
+	b := nr.Bounds
+	fmt.Printf("query      : %s on %s, N = %d\n", q, g, n)
+	fmt.Printf("answer     : %v (at player %d)\n", v != 0, output)
+	fmt.Printf("main       : %d rounds, %d bits\n", nr.Rounds, nr.Bits)
+	fmt.Printf("trivial    : %d rounds, %d bits\n", nr.TrivialRounds, nr.TrivialBits)
 	fmt.Printf("structure  : y(H)=%d n2(H)=%d d=%d r=%d MinCut=%d ST=%d Δ=%d\n",
-		bounds.Y, bounds.N2, bounds.Degeneracy, bounds.Arity, bounds.MinCut, bounds.ST, bounds.Delta)
+		b.Y, b.N2, b.Degeneracy, b.Arity, b.MinCut, b.ST, b.Delta)
 	fmt.Printf("bounds     : UB %d rounds, LB~ %.1f rounds, gap %.2f\n",
-		bounds.Upper, bounds.LowerTilde, bounds.Gap())
+		b.Upper, b.LowerTilde, b.Gap())
 	return nil
 }

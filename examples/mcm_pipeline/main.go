@@ -1,48 +1,126 @@
-// Matrix chain pipeline (Section 6): k matrices over F₂ and a vector on
-// a line of players; compares the sequential Θ(kN) protocol
-// (Proposition 6.1), the doubling merge O(N²·log k + k) (Appendix I.1),
-// and the trivial Θ(kN²) baseline against the Ω(kN) min-entropy lower
-// bound (Theorem 6.4), showing the k ≶ N crossover.
+// Matrix chain pipeline (Section 6) through the public API: the product
+// y = M₁·M₂·…·M_k·v over F₂ is exactly an FAQ — variables X₀..X_k on a
+// path, one factor per matrix listing its 1-entries as (row, col)
+// tuples, the vector as a unary factor, X₀ free and every inner index
+// XOR-aggregated (the F₂ semiring ⊕). The engine's GHD pass evaluates
+// the chain right-to-left in O(k·N²) listed entries — the dynamic
+// program behind the paper's sequential Θ(kN) protocol — and the result
+// is checked against a direct bitset reference.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/mcm"
+	"repro/faqs"
 )
 
 func main() {
 	r := rand.New(rand.NewSource(1))
-	fmt.Println("  k    N   sequential     merge   trivial   LB Ω(kN)   winner")
-	for _, kn := range [][2]int{{8, 64}, {16, 64}, {64, 16}, {256, 8}, {512, 8}} {
+	eng := faqs.NewEngine()
+	fmt.Println("   k    N   |y|   exec ms   plan        y(H)  depth")
+	for _, kn := range [][2]int{{4, 32}, {8, 32}, {16, 16}, {64, 8}} {
 		k, n := kn[0], kn[1]
-		ins := mcm.RandomInstance(k, n, r)
-		want := ins.Answer()
 
-		ySeq, seq, err := mcm.Sequential(ins, 1)
+		// Random matrices (density 1/2) and vector over F₂.
+		mats := make([][][]bool, k)
+		for m := range mats {
+			mats[m] = randomMatrix(r, n)
+		}
+		vec := make([]bool, n)
+		for i := range vec {
+			vec[i] = r.Intn(2) == 1
+		}
+
+		// The FAQ: edges (X_{m}, X_{m+1}) for matrix m, (X_k) for the
+		// vector, free X₀.
+		qb := faqs.NewQuery(faqs.F2).Free("X0").Domain(n)
+		for m, mat := range mats {
+			rb := faqs.NewRelationBuilder(faqs.MustSchema(name(m), name(m+1)))
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if mat[i][j] {
+						rb.Add(i, j)
+					}
+				}
+			}
+			rel, err := rb.Relation()
+			if err != nil {
+				log.Fatal(err)
+			}
+			qb.Factor(rel)
+		}
+		vb := faqs.NewRelationBuilder(faqs.MustSchema(name(k)))
+		for i, set := range vec {
+			if set {
+				vb.Add(i)
+			}
+		}
+		vrel, err := vb.Relation()
 		if err != nil {
 			log.Fatal(err)
 		}
-		yMrg, mrg, err := mcm.Merge(ins, 1)
+		q, err := qb.Factor(vrel).Build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, trv, err := mcm.Trivial(ins, 1)
+
+		res, err := eng.Solve(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !ySeq.Equal(want) || !yMrg.Equal(want) {
-			log.Fatalf("protocols disagree at k=%d N=%d", k, n)
+		ex, err := eng.Explain(q)
+		if err != nil {
+			log.Fatal(err)
 		}
-		winner := "sequential"
-		if mrg.Rounds < seq.Rounds {
-			winner = "merge"
+
+		// Reference: fold the chain right-to-left directly.
+		want := vec
+		for m := k - 1; m >= 0; m-- {
+			want = multiply(mats[m], want)
 		}
-		fmt.Printf("%4d %4d   %10d %9d %9d   %8.0f   %s\n",
-			k, n, seq.Rounds, mrg.Rounds, trv.Rounds,
-			mcm.LowerBoundRounds(k, n), winner)
+		got := make([]bool, n)
+		for _, t := range res.Tuples {
+			got[t[0]] = true
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("k=%d N=%d: engine and reference disagree at row %d", k, n, i)
+			}
+		}
+		fmt.Printf("%4d %4d %5d %9.2f   %s  %4d %6d\n",
+			k, n, res.Len(), float64(res.Stats.ExecNS)/1e6, res.PlanHash[:8], ex.Y, ex.Depth)
 	}
-	fmt.Println("\nsequential is optimal for k ≤ N (Theorem 6.4); merge takes over for k ≫ N.")
+	fmt.Println("\nevery chain verified against the direct F₂ fold; the GHD plan is the")
+	fmt.Println("path decomposition, so the pass is the right-to-left dynamic program.")
+}
+
+func name(i int) string { return fmt.Sprintf("X%d", i) }
+
+func randomMatrix(r *rand.Rand, n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			m[i][j] = r.Intn(2) == 1
+		}
+	}
+	return m
+}
+
+// multiply computes M·x over F₂.
+func multiply(m [][]bool, x []bool) []bool {
+	out := make([]bool, len(x))
+	for i := range m {
+		acc := false
+		for j, set := range x {
+			if set && m[i][j] {
+				acc = !acc
+			}
+		}
+		out[i] = acc
+	}
+	return out
 }

@@ -1,74 +1,114 @@
-// PGM marginals: the paper's second headline application (Section 1).
-// A chain-structured probabilistic graphical model is evaluated as an
-// FAQ-SS over the sum-product semiring; the factor marginal (F = e, the
-// case the paper highlights) is computed by the distributed protocol on
-// a line of players and checked against the centralized GHD pass.
+// PGM marginals through the public API: the paper's second headline
+// application (Section 1). A chain-structured probabilistic graphical
+// model is an FAQ-SS over the sum-product semiring — the partition
+// function is the scalar query (no free variables), a variable marginal
+// frees that variable, and the engine compiles the chain decomposition
+// once and reuses it for every marginal of the same shape. The Viterbi
+// (MAP) value of the same potentials is one more query over MaxTimes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 
-	"repro/internal/faq"
-	"repro/internal/pgm"
-	"repro/internal/protocol"
-	"repro/internal/relation"
-	"repro/internal/semiring"
-	"repro/internal/topology"
-	"repro/internal/workload"
+	"repro/faqs"
+)
+
+const (
+	vars = 8 // chain length
+	dom  = 4 // states per variable
 )
 
 func main() {
 	r := rand.New(rand.NewSource(7))
-	const vars, dom = 8, 4
 
-	// An 8-variable chain PGM with random positive pairwise potentials.
-	model := pgm.NewChain(vars, dom, r)
+	// Random positive pairwise potentials φ_i(x_i, x_{i+1}). The same
+	// float tables feed both semirings.
+	type entry struct {
+		a, b int
+		v    float64
+	}
+	potentials := make([][]entry, vars-1)
+	for i := range potentials {
+		for a := 0; a < dom; a++ {
+			for b := 0; b < dom; b++ {
+				potentials[i] = append(potentials[i], entry{a, b, 0.1 + r.Float64()})
+			}
+		}
+	}
+	build := func(sem faqs.Semiring, free ...string) *faqs.Query {
+		qb := faqs.NewQuery(sem).Domain(dom).Free(free...)
+		for i, pot := range potentials {
+			sch := faqs.MustSchema(fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", i+1))
+			rb := faqs.NewRelationBuilder(sch)
+			for _, e := range pot {
+				rb.AddValued(e.v, e.a, e.b)
+			}
+			rel, err := rb.Relation()
+			if err != nil {
+				log.Fatal(err)
+			}
+			qb.Factor(rel)
+		}
+		q, err := qb.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
 
-	// Partition function and a variable marginal, centralized.
-	z, err := model.Partition()
+	eng := faqs.NewEngine()
+	ctx := context.Background()
+
+	// Partition function Z = Σ_x Π_i φ_i.
+	zRes, err := eng.Solve(ctx, build(faqs.SumProduct))
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := zRes.Scalar()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("partition function Z = %.4f\n", z)
 
-	marg, err := model.VariableMarginal(3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	probs, err := model.Normalize(marg)
+	// Marginal of X3: free it, normalize by Z.
+	mRes, err := eng.Solve(ctx, build(faqs.SumProduct, "X3"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("P(x3):")
-	for k, p := range probs {
-		fmt.Printf("  x3=%s : %.4f\n", k, p)
+	sum := 0.0
+	for i, t := range mRes.Tuples {
+		p := mRes.Values[i] / z
+		sum += p
+		fmt.Printf("  x3=%d : %.4f\n", t[0], p)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		log.Fatalf("marginal does not normalize: Σ = %g", sum)
 	}
 
-	// Distributed: the factor marginal over e0's scope on a 7-player
-	// line, one potential per player.
-	q := model.MarginalQuery(model.H.Edge(0))
-	g := topology.Line(model.H.NumEdges())
-	players := make([]int, g.N())
-	for i := range players {
-		players[i] = i
-	}
-	s := &protocol.Setup[float64]{
-		Q: q, G: g,
-		Assign: workload.RoundRobinAssignment(q.H.NumEdges(), players),
-		Output: 0,
-	}
-	ans, rep, err := protocol.Run(s)
+	// Z (no free variables) and the X3-marginal are distinct query
+	// shapes, so the cache compiled one plan each; this Explain hits the
+	// marginal's resident plan.
+	ex, err := eng.Explain(build(faqs.SumProduct, "X3"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	want, err := faq.Solve(q)
+	fmt.Printf("chain plan: y=%d width=%d depth=%d, cache hit=%v\n", ex.Y, ex.Width, ex.Depth, ex.CacheHit)
+	fmt.Println(ex.Tree)
+
+	// Viterbi / MAP value: the same potentials over (ℝ≥0, max, ×).
+	vRes, err := eng.Solve(ctx, build(faqs.MaxTimes))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ndistributed factor marginal F=%v: %d rounds, %d bits\n",
-		q.Free, rep.Rounds, rep.Bits)
-	fmt.Printf("matches centralized GHD pass: %v\n",
-		relation.Equal(semiring.SumProduct{}, ans, want))
+	mapv, err := vRes.Scalar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MAP value max_x Π φ = %.4f (Z/%d^%d mean scale %.4f)\n",
+		mapv, dom, vars, z/math.Pow(dom, vars))
 }

@@ -1,81 +1,91 @@
-// Quickstart: Example 2.2 of the paper end to end — the Boolean
-// Conjunctive Query of the star H₁ = R(A,B), S(A,C), T(A,D), U(A,E)
-// computed on the 4-player line topology G₁, with player P₂ learning the
-// answer in ≈ N+2 rounds.
+// Quickstart: the library API end to end on Example 2.2 of the paper —
+// the Boolean Conjunctive Query of the star H₁ = R(A,B), S(A,C), T(A,D),
+// U(A,E). The engine solves and explains it centrally (plan compiled
+// once, cached thereafter), then the same instance runs distributed on
+// the 4-player line topology G₁ (≈ N+2 rounds) and on the clique G₂
+// (≈ N/2+2 rounds via the two-path Steiner packing of Example 2.3).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/faq"
-	"repro/internal/hypergraph"
-	"repro/internal/protocol"
-	"repro/internal/relation"
-	"repro/internal/semiring"
-	"repro/internal/topology"
+	"repro/faqs"
 )
 
 func main() {
 	const N = 128 // tuples per relation (the paper's size parameter)
 
-	// The query hypergraph H1 of Figure 1.
-	h := hypergraph.ExampleH1()
-
 	// Random relations sharing the planted value A = 7, so the query is
 	// satisfiable: BCQ asks whether π_A(R) ∩ π_A(S) ∩ π_A(T) ∩ π_A(U)
 	// is nonempty.
 	r := rand.New(rand.NewSource(42))
-	sb := semiring.Bool{}
-	factors := make([]*relation.Relation[bool], h.NumEdges())
-	for e := range factors {
-		b := relation.NewBuilder[bool](sb, h.Edge(e))
+	qb := faqs.NewQuery(faqs.Bool).Domain(N)
+	for _, leaf := range []string{"B", "C", "D", "E"} {
+		rb := faqs.NewRelationBuilder(faqs.MustSchema("A", leaf))
 		for i := 0; i < N-1; i++ {
-			b.AddOne(r.Intn(N), r.Intn(N))
+			rb.Add(r.Intn(N), r.Intn(N))
 		}
-		b.AddOne(7, 0)
-		factors[e] = b.Build()
+		rb.Add(7, 0)
+		rel, err := rb.Relation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		qb.Factor(rel)
 	}
-	q := faq.NewBCQ(h, factors, N)
-
-	// The line topology G1 with player i holding relation i; P2 (node 1)
-	// must learn the answer.
-	g := topology.Line(4)
-	eng, err := core.New(q, g, protocol.Assignment{0, 1, 2, 3}, 1)
+	q, err := qb.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ans, rep, err := eng.Run()
+	// One engine serves everything; plans compile once per query shape.
+	eng := faqs.NewEngine(faqs.WithPlanCache(64))
+	res, err := eng.Solve(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := faq.BCQValue(q, ans)
+	v, err := res.Scalar()
 	if err != nil {
 		log.Fatal(err)
 	}
-	bounds, err := eng.Bounds()
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("BCQ answer      : %v  (plan %s, cache %v)\n", v != 0, res.PlanHash, res.CacheHit)
 
-	fmt.Printf("BCQ answer      : %v\n", v)
-	fmt.Printf("measured rounds : %d   (paper, Example 2.2: N+2 = %d)\n", rep.Rounds, N+2)
-	fmt.Printf("bits on wire    : %d\n", rep.Bits)
+	res2, _ := eng.Solve(context.Background(), q)
+	fmt.Printf("second solve    : cache hit = %v\n", res2.CacheHit)
+
+	ex, err := eng.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explain         : y(H)=%d n₂(H)=%d width=%d depth=%d, N=%d, ≈%.0f bytes\n",
+		ex.Y, ex.N2, ex.Width, ex.Depth, ex.N, ex.EstimateBytes)
+	fmt.Println(ex.Tree)
+
+	// The same instance distributed: player i holds relation i; P₂
+	// (player 1) must learn the answer.
+	line, err := faqs.Line(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr, err := eng.SolveOnNetwork(q, line, []int{0, 1, 2, 3}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured rounds : %d   (paper, Example 2.2: N+2 = %d)\n", nr.Rounds, N+2)
+	fmt.Printf("bits on wire    : %d\n", nr.Bits)
 	fmt.Printf("y(H)=%d  MinCut=%d  UB=%d  LB~=%.1f\n",
-		bounds.Y, bounds.MinCut, bounds.Upper, bounds.LowerTilde)
+		nr.Bounds.Y, nr.Bounds.MinCut, nr.Bounds.Upper, nr.Bounds.LowerTilde)
 
-	// The same instance on the 4-clique G2 halves the rounds via the
-	// two-path Steiner packing of Example 2.3.
-	engC, err := core.New(q, topology.Clique(4), protocol.Assignment{0, 1, 2, 3}, 1)
+	// On the 4-clique G₂ the two-path Steiner packing halves the rounds.
+	clique, err := faqs.Clique(4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, repC, err := engC.Run()
+	nrC, err := eng.SolveOnNetwork(q, clique, []int{0, 1, 2, 3}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("on clique G2    : %d rounds (paper, Example 2.3: N/2+2 = %d)\n", repC.Rounds, N/2+2)
+	fmt.Printf("on clique G2    : %d rounds (paper, Example 2.3: N/2+2 = %d)\n", nrC.Rounds, N/2+2)
 }

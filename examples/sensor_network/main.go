@@ -1,22 +1,19 @@
-// Sensor network aggregation (Appendix A.4): a 4×4 grid of sensors,
-// each holding a reading table keyed by a shared event id; the base
-// station (corner node) computes which event ids were observed by every
-// sensor cluster — a star BCQ whose rounds the paper bounds by
-// y(H)·(N/ST + Δ) on the grid fabric.
+// Sensor network aggregation (Appendix A.4) through the public API: a
+// 4×4 grid of sensors, each cluster holding a reading table keyed by a
+// shared event id; the base station (corner node) computes which event
+// ids were observed by every cluster — a star query whose rounds the
+// paper bounds by y(H)·(N/ST + Δ) on the grid fabric. The engine first
+// answers the query centrally (free variable E: the observed-by-all
+// event ids), then replays it distributed on the grid.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/faq"
-	"repro/internal/hypergraph"
-	"repro/internal/protocol"
-	"repro/internal/relation"
-	"repro/internal/semiring"
-	"repro/internal/topology"
+	"repro/faqs"
 )
 
 func main() {
@@ -27,50 +24,51 @@ func main() {
 		cols     = 4
 	)
 	r := rand.New(rand.NewSource(3))
-	sb := semiring.Bool{}
 
 	// Query: event E observed with cluster-local metadata M_i:
 	// R_i(E, M_i) — a star centered on the shared event id.
-	h := hypergraph.StarGraph(clusters)
-	factors := make([]*relation.Relation[bool], clusters)
-	for i := range factors {
-		b := relation.NewBuilder[bool](sb, h.Edge(i))
+	qb := faqs.NewQuery(faqs.Bool).Free("E").Domain(events)
+	for i := 0; i < clusters; i++ {
+		rb := faqs.NewRelationBuilder(faqs.MustSchema("E", fmt.Sprintf("M%d", i)))
 		for e := 0; e < events; e++ {
 			if r.Intn(4) != 0 { // each cluster misses ~1/4 of events
-				b.AddOne(e, r.Intn(events))
+				rb.Add(e, r.Intn(events))
 			}
 		}
-		factors[i] = b.Build()
+		rel, err := rb.Relation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		qb.Factor(rel)
 	}
-	q := faq.NewBCQ(h, factors, events)
+	q, err := qb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := faqs.NewEngine()
+	res, err := eng.Solve(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events observed by every cluster: %d of %d\n", res.Len(), events)
 
 	// Grid fabric: cluster tables live at spread-out sensors; the base
-	// station is node 0 (a corner).
-	g := topology.Grid(rows, cols)
-	assign := protocol.Assignment{5, 3, 10, 12, 15}
-	eng, err := core.New(q, g, assign, 0)
+	// station is node 0 (a corner) and must learn the answer.
+	grid, err := faqs.Grid(rows, cols)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, rep, err := eng.Run()
+	nr, err := eng.SolveOnNetwork(q, grid, []int{5, 3, 10, 12, 15}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := faq.BCQValue(q, ans)
-	if err != nil {
-		log.Fatal(err)
+	if nr.Answer.Len() != res.Len() {
+		log.Fatalf("distributed answer has %d rows, centralized %d", nr.Answer.Len(), res.Len())
 	}
-	_, repTrivial, err := eng.RunTrivial()
-	if err != nil {
-		log.Fatal(err)
-	}
-	bounds, err := eng.Bounds()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("some event seen by every cluster: %v\n", v)
-	fmt.Printf("aggregation protocol : %d rounds, %d bits\n", rep.Rounds, rep.Bits)
-	fmt.Printf("ship-everything      : %d rounds, %d bits\n", repTrivial.Rounds, repTrivial.Bits)
+	b := nr.Bounds
+	fmt.Printf("aggregation protocol : %d rounds, %d bits\n", nr.Rounds, nr.Bits)
+	fmt.Printf("ship-everything      : %d rounds, %d bits\n", nr.TrivialRounds, nr.TrivialBits)
 	fmt.Printf("grid structure       : MinCut=%d ST=%d Δ=%d  UB=%d LB~=%.1f\n",
-		bounds.MinCut, bounds.ST, bounds.Delta, bounds.Upper, bounds.LowerTilde)
+		b.MinCut, b.ST, b.Delta, b.Upper, b.LowerTilde)
 }

@@ -1,0 +1,69 @@
+// Package faqs is the public embedded-library API of the repository: one
+// façade over query building, planning, solving, and explain for the
+// Functional Aggregate Queries of "Topology Dependent Bounds For FAQs"
+// (Langberg, Li, Mani Jayaraman, Rudra; PODS 2019). It is the single
+// supported way to use the system as a library — cmd/faqd, cmd/faqrun,
+// and every examples/ program are clients of this package, so the
+// library and the daemon share one execution path through the internal
+// plan cache and service layer.
+//
+// # Building queries
+//
+// Relations stream in through typed builders and queries assemble
+// fluently:
+//
+//	sch, _ := faqs.NewSchema("A", "B")
+//	rb := faqs.NewRelationBuilder(sch)
+//	rb.Add(1, 2).Add(3, 4)            // Boolean tuples (value 1)
+//	rel, _ := rb.Relation()
+//
+//	q, err := faqs.NewQuery(faqs.Count).
+//		Factor(rel).
+//		Free("A").
+//		Domain(64).
+//		Build()
+//
+// The semiring comes from a registry — Bool, Count, SumProduct, MinPlus,
+// MaxTimes, F2 — and bound variables may override their aggregate
+// operator per the paper's general FAQ form (AggProduct everywhere;
+// AggMax over SumProduct, whose identities it shares).
+//
+// # Solving and explaining
+//
+// An Engine is constructed once with functional options and serves many
+// queries; plans compile once per variable-renaming-invariant query
+// shape and are cached:
+//
+//	e := faqs.NewEngine(
+//		faqs.WithPlanCache(256),
+//		faqs.WithMemoryBudget(1<<30),
+//	)
+//	res, err := e.Solve(ctx, q)       // answer + plan fingerprint + timings
+//	ex,  err := e.Explain(q)          // GHD tree, y(H)/n₂(H)/width/depth,
+//	                                  // per-node bounds, cache hit/miss
+//
+// Explain surfaces the paper's topology-dependent bounds as user-facing
+// planning output: the decomposition's internal-node-width y(H)
+// (Definition 2.9), core size n₂(H) (Definition 3.1), and per-node
+// output bounds (≤ N tuples for label-covered nodes per eq. 24, N^|χ(v)|
+// for the fat core root). The same bounds drive admission control:
+// WithMemoryBudget rejects requests whose structural estimate exceeds
+// the budget with an error matching ErrOverBudget — before any
+// execution work.
+//
+// # Answer contract
+//
+// Engine.Solve is exactly the solver contract of the internal layers: a
+// served answer equals faq.SolveOnGHD on the bound cached plan, which
+// for exact semirings (Bool, Count, F2) is bit-identical to per-request
+// planning at every worker count; float semirings agree modulo the
+// semiring's re-association tolerance. Values cross the façade as
+// float64 (exact for Bool/F2 and for Count within 2^53).
+//
+// # Distributed execution
+//
+// SolveOnNetwork runs the paper's distributed protocols on a synchronous
+// network topology (Line, Clique, Star, Ring, Grid) and reports measured
+// rounds and bits next to the closed-form upper and lower bounds, so the
+// examples can reproduce the paper's tables through the public API.
+package faqs

@@ -1,0 +1,111 @@
+package faqs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Topology is a synchronous network of players with unit-capacity links
+// — the communication fabric of the paper's distributed protocols. Use
+// the constructors; the zero value is invalid.
+type Topology struct {
+	name string
+	g    *topology.Graph
+}
+
+// Name returns a human-readable description ("line:4", "grid:4x4").
+func (t Topology) Name() string { return t.name }
+
+// String renders the topology name.
+func (t Topology) String() string { return t.name }
+
+// Players returns the number of network nodes.
+func (t Topology) Players() int {
+	if t.g == nil {
+		return 0
+	}
+	return t.g.N()
+}
+
+// Line returns the k-player path topology (G₁ of Figure 1).
+func Line(k int) (Topology, error) {
+	if k < 2 {
+		return Topology{}, fmt.Errorf("faqs: line topology needs ≥ 2 players, got %d", k)
+	}
+	return Topology{name: fmt.Sprintf("line:%d", k), g: topology.Line(k)}, nil
+}
+
+// Clique returns the complete k-player topology (G₂ of Figure 1).
+func Clique(k int) (Topology, error) {
+	if k < 2 {
+		return Topology{}, fmt.Errorf("faqs: clique topology needs ≥ 2 players, got %d", k)
+	}
+	return Topology{name: fmt.Sprintf("clique:%d", k), g: topology.Clique(k)}, nil
+}
+
+// Star returns a star topology: center player 0 and k-1 leaves.
+func Star(k int) (Topology, error) {
+	if k < 2 {
+		return Topology{}, fmt.Errorf("faqs: star topology needs ≥ 2 players, got %d", k)
+	}
+	return Topology{name: fmt.Sprintf("star:%d", k), g: topology.Star(k)}, nil
+}
+
+// Ring returns the k-player cycle topology (k ≥ 3).
+func Ring(k int) (Topology, error) {
+	if k < 3 {
+		return Topology{}, fmt.Errorf("faqs: ring topology needs ≥ 3 players, got %d", k)
+	}
+	return Topology{name: fmt.Sprintf("ring:%d", k), g: topology.Ring(k)}, nil
+}
+
+// Grid returns the rows×cols grid topology, a sensor-network-like
+// fabric.
+func Grid(rows, cols int) (Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return Topology{}, fmt.Errorf("faqs: grid topology needs ≥ 2 players, got %dx%d", rows, cols)
+	}
+	return Topology{name: fmt.Sprintf("grid:%dx%d", rows, cols), g: topology.Grid(rows, cols)}, nil
+}
+
+// NetworkBounds holds the closed-form bounds of one distributed
+// instance: the structural parameters of the query hypergraph and the
+// network, the deterministic upper bound of Theorem 4.1/F.1, and the
+// randomized lower bound of Theorem 4.4/F.9.
+type NetworkBounds struct {
+	Y          int `json:"y"`          // internal-node-width y(H), Definition 2.9
+	N2         int `json:"n2"`         // core size n₂(H), Definition 3.1
+	Degeneracy int `json:"degeneracy"` // d, Definition 3.3
+	Arity      int `json:"arity"`      // r
+	MinCut     int `json:"min_cut"`    // MinCut(G, K), Definition 3.6
+	Delta      int `json:"delta"`      // the Δ minimizing the Theorem 3.11 term
+	ST         int `json:"st"`         // ST(G, K, Δ) at that Δ
+	N          int `json:"n"`          // max factor size
+
+	Upper      int     `json:"upper"`       // deterministic round upper bound
+	Lower      float64 `json:"lower"`       // randomized lower bound, constants dropped
+	LowerTilde float64 `json:"lower_tilde"` // Lower / the paper's Ω̃ polylog factors
+}
+
+// Gap returns Upper / LowerTilde — the measured counterpart of the
+// paper's Table 1 gap column (infinite when the lower bound vanishes).
+func (b NetworkBounds) Gap() float64 {
+	if b.LowerTilde <= 0 {
+		return math.Inf(1)
+	}
+	return float64(b.Upper) / b.LowerTilde
+}
+
+// NetworkRun reports one distributed execution: the answer delivered at
+// the output player, the measured round/bit cost of the paper's main
+// protocol and of the trivial baseline, and the closed-form bounds.
+type NetworkRun struct {
+	Answer        *Result       `json:"answer"`
+	Rounds        int           `json:"rounds"`
+	Bits          int64         `json:"bits"`
+	TrivialRounds int           `json:"trivial_rounds"`
+	TrivialBits   int64         `json:"trivial_bits"`
+	Bounds        NetworkBounds `json:"bounds"`
+}

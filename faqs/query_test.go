@@ -1,0 +1,211 @@
+package faqs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSchemaValidation pins NewSchema's error paths.
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema: want error")
+	}
+	if _, err := NewSchema("A", "A"); err == nil {
+		t.Error("duplicate attribute: want error")
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Error("empty attribute name: want error")
+	}
+	if s, err := NewSchema("A", "B"); err != nil || s.Arity() != 2 {
+		t.Errorf("valid schema: %v, arity %d", err, s.Arity())
+	}
+}
+
+// TestRelationBuilderValidation pins the builder's error accumulation:
+// arity mismatches and Add/AddValued mixing error at Relation(), never
+// panic.
+func TestRelationBuilderValidation(t *testing.T) {
+	sch := MustSchema("A", "B")
+	if _, err := NewRelationBuilder(sch).Add(1).Relation(); err == nil {
+		t.Error("short tuple: want error")
+	}
+	if _, err := NewRelationBuilder(sch).Add(1, 2, 3).Relation(); err == nil {
+		t.Error("long tuple: want error")
+	}
+	if _, err := NewRelationBuilder(sch).Add(1, 2).AddValued(3, 1, 2).Relation(); err == nil {
+		t.Error("mixed Add/AddValued: want error")
+	}
+	if _, err := NewRelationBuilder(nil).Add(1).Relation(); err == nil {
+		t.Error("nil schema: want error")
+	}
+	b := NewRelationBuilder(sch).Add(1, 2)
+	if b.Err() != nil || b.Len() != 1 {
+		t.Errorf("valid builder: err=%v len=%d", b.Err(), b.Len())
+	}
+}
+
+// TestQueryBuilderValidation pins Build's error paths — every malformed
+// input must error, never panic.
+func TestQueryBuilderValidation(t *testing.T) {
+	rel := func(attrs ...string) *Relation {
+		r, err := NewRelationBuilder(MustSchema(attrs...)).Add(make([]int, len(attrs))...).Relation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := map[string]*QueryBuilder{
+		"no factors":      NewQuery(Count).Domain(4),
+		"zero domain":     NewQuery(Count).Factor(rel("A")).Domain(0),
+		"negative domain": NewQuery(Count).Factor(rel("A")).Domain(-3),
+		// int32 tuple storage: a wider domain would let range-checked
+		// values wrap modulo 2^32 into the valid domain.
+		"domain beyond int32": NewQuery(Count).Factor(rel("A")).Domain(1 << 33),
+		"nil factor":          NewQuery(Count).Factor(nil).Domain(4),
+		"unknown free":        NewQuery(Count).Factor(rel("A")).Free("Z").Domain(4),
+		"agg on free":         NewQuery(Count).Factor(rel("A", "B")).Free("B").Aggregate("B", AggProduct).Domain(4),
+		"agg unknown var":     NewQuery(Count).Factor(rel("A")).Aggregate("Z", AggProduct).Domain(4),
+		"agg invalid op":      NewQuery(Count).Factor(rel("A", "B")).Aggregate("B", Aggregate("bogus")).Domain(4),
+		"agg max over count":  NewQuery(Count).Factor(rel("A", "B")).Aggregate("B", AggMax).Domain(4),
+		"agg conflict":        NewQuery(SumProduct).Factor(rel("A", "B")).Aggregate("B", AggMax).Aggregate("B", AggProduct).Domain(4),
+		"unregistered":        NewQuery(Semiring{}).Factor(rel("A")).Domain(4),
+	}
+	for name, qb := range cases {
+		if _, err := qb.Build(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+
+	// Out-of-domain tuple values error at Build.
+	r2, err := NewRelationBuilder(MustSchema("A")).Add(7).Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQuery(Count).Factor(r2).Domain(4).Build(); err == nil {
+		t.Error("tuple value outside domain: want error")
+	}
+	r3, err := NewRelationBuilder(MustSchema("A")).Add(-1).Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQuery(Count).Factor(r3).Domain(4).Build(); err == nil {
+		t.Error("negative tuple value: want error")
+	}
+
+	// AggMax is valid over SumProduct; AggProduct everywhere.
+	q, err := NewQuery(SumProduct).
+		Factor(rel("A", "B")).Factor(rel("B", "C")).
+		Free("A").Aggregate("B", AggProduct).Aggregate("C", AggMax).
+		Domain(4).Build()
+	if err != nil || q == nil {
+		t.Errorf("valid general FAQ: %v", err)
+	}
+}
+
+// TestSemiringRegistry pins the registry surface.
+func TestSemiringRegistry(t *testing.T) {
+	names := SemiringNames()
+	want := []string{"bool", "count", "sumproduct", "minplus", "maxtimes", "f2"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("SemiringNames = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		s, ok := SemiringByName(name)
+		if !ok || s.Name() != name {
+			t.Errorf("SemiringByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := SemiringByName("nope"); ok {
+		t.Error("SemiringByName(nope): want !ok")
+	}
+}
+
+// fuzz name pool: includes empty and duplicate-prone names so malformed
+// schemas are reachable.
+var fuzzNames = []string{"A", "B", "C", "D", "E", "A", ""}
+
+// FuzzQueryBuilder drives the whole public building surface with
+// pseudo-random (often malformed) input: schemas, tuples, values, free
+// variables, aggregates, domains. The contract under fuzz is exactly
+// the library contract — malformed input errors, it never panics.
+func FuzzQueryBuilder(f *testing.F) {
+	f.Add(int64(1), 4, 3, uint8(2))
+	f.Add(int64(2), 0, 0, uint8(0))
+	f.Add(int64(3), -5, 9, uint8(255))
+	f.Add(int64(4), 2, 1, uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, dom, nTuples int, knobs uint8) {
+		r := rand.New(rand.NewSource(seed))
+		semIdx := int(knobs) % (len(registry) + 1)
+		var qb *QueryBuilder
+		if semIdx == len(registry) {
+			qb = NewQuery(Semiring{name: "zero-value"})
+		} else {
+			qb = NewQuery(registry[semIdx])
+		}
+		nEdges := 1 + r.Intn(4)
+		if knobs&1 != 0 {
+			nEdges = 0
+		}
+		if nTuples < 0 {
+			nTuples = -nTuples
+		}
+		nTuples %= 16
+		// Cap the domain so product aggregates (which sweep the domain)
+		// and brute-force fallbacks stay cheap; Build still sees invalid
+		// (≤ 0) domains.
+		if dom > 64 {
+			dom %= 64
+		}
+		for e := 0; e < nEdges; e++ {
+			arity := 1 + r.Intn(3)
+			attrs := make([]string, arity)
+			for i := range attrs {
+				attrs[i] = fuzzNames[r.Intn(len(fuzzNames))]
+			}
+			sch, err := NewSchema(attrs...)
+			if err != nil {
+				continue // malformed schema: builder path exercised above
+			}
+			rb := NewRelationBuilder(sch)
+			for ti := 0; ti < nTuples; ti++ {
+				tuple := make([]int, arity)
+				if knobs&2 != 0 && ti == 0 {
+					tuple = make([]int, arity+1) // wrong arity
+				}
+				for i := range tuple {
+					tuple[i] = r.Intn(20) - 5 // may be negative or ≥ dom
+				}
+				if knobs&4 != 0 {
+					rb.AddValued(r.Float64()*4-1, tuple...)
+				} else {
+					rb.Add(tuple...)
+				}
+			}
+			rel, err := rb.Relation()
+			if err != nil {
+				continue
+			}
+			qb.Factor(rel)
+		}
+		if knobs&8 != 0 {
+			qb.Free(fuzzNames[r.Intn(len(fuzzNames))])
+		}
+		if knobs&16 != 0 {
+			aggs := []Aggregate{AggProduct, AggMax, Aggregate("bogus")}
+			qb.Aggregate(fuzzNames[r.Intn(len(fuzzNames))], aggs[r.Intn(len(aggs))])
+		}
+		q, err := qb.Domain(dom).Build()
+		if err != nil {
+			return // malformed input must error — and it did, without panicking
+		}
+		// A query that built must also solve (tiny data; budget-free).
+		if _, err := fuzzEngine.Solve(nil, q); err != nil {
+			t.Fatalf("built query %v failed to solve: %v", q, err)
+		}
+	})
+}
+
+// fuzzEngine is shared across fuzz iterations so plan compilation is
+// amortized (shapes repeat under the fuzzer).
+var fuzzEngine = NewEngine(WithPlanCache(512))

@@ -1,0 +1,153 @@
+package faqs
+
+import "fmt"
+
+// Schema names the attributes (query variables) of a relation, in column
+// order. Attribute names are shared across a query: two factors mentioning
+// attribute "A" join on it, exactly as hyperedges of the query hypergraph
+// share vertices.
+type Schema struct {
+	attrs []string
+}
+
+// NewSchema returns a schema over the given attribute names. Names must
+// be non-empty and distinct within one schema.
+func NewSchema(attrs ...string) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("faqs: schema needs at least one attribute")
+	}
+	seen := make(map[string]bool, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("faqs: attribute %d is empty", i)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("faqs: duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	return &Schema{attrs: append([]string(nil), attrs...)}, nil
+}
+
+// MustSchema is NewSchema panicking on error — for statically-known
+// schemas in examples and tests.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attrs returns a copy of the attribute names in column order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// String renders the schema for diagnostics.
+func (s *Schema) String() string { return fmt.Sprintf("%v", s.attrs) }
+
+// Relation is an immutable semiring-annotated relation in listing
+// representation, ready to be used as a query factor. Values are carried
+// as float64 across the façade; a relation built purely with Add (no
+// explicit values) annotates every tuple with the chosen semiring's
+// multiplicative identity — the natural encoding of ordinary database
+// tuples.
+type Relation struct {
+	schema *Schema
+	tuples [][]int
+	values []float64 // nil: every tuple is the semiring One
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of listed tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// String renders the relation for diagnostics.
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation(%v, n=%d)", r.schema.attrs, len(r.tuples))
+}
+
+// RelationBuilder ingests tuples one at a time (streaming: nothing is
+// buffered beyond the tuples themselves, and errors accumulate instead
+// of panicking). A builder is either Boolean-style — every tuple added
+// with Add, annotated with the semiring's 1 at query build time — or
+// value-annotated via AddValued; mixing the two is an error, mirroring
+// the all-or-nothing value encoding of the wire schema.
+type RelationBuilder struct {
+	schema *Schema
+	tuples [][]int
+	values []float64
+	plain  bool // Add used
+	valued bool // AddValued used
+	err    error
+}
+
+// NewRelationBuilder returns a builder over the given schema.
+func NewRelationBuilder(s *Schema) *RelationBuilder {
+	b := &RelationBuilder{schema: s}
+	if s == nil || len(s.attrs) == 0 {
+		b.err = fmt.Errorf("faqs: relation builder needs a non-empty schema")
+	}
+	return b
+}
+
+// Add appends one tuple annotated with the semiring's multiplicative
+// identity. The tuple length must match the schema arity; violations are
+// recorded and surface from Relation().
+func (b *RelationBuilder) Add(tuple ...int) *RelationBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(tuple) != len(b.schema.attrs) {
+		b.err = fmt.Errorf("faqs: tuple %v has arity %d, schema %v wants %d",
+			tuple, len(tuple), b.schema.attrs, len(b.schema.attrs))
+		return b
+	}
+	if b.valued {
+		b.err = fmt.Errorf("faqs: cannot mix Add and AddValued on one relation")
+		return b
+	}
+	b.plain = true
+	b.tuples = append(b.tuples, append([]int(nil), tuple...))
+	return b
+}
+
+// AddValued appends one tuple with an explicit semiring value (as
+// float64 — exact for Bool/F2/Count within 2^53, native for the float
+// semirings).
+func (b *RelationBuilder) AddValued(value float64, tuple ...int) *RelationBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(tuple) != len(b.schema.attrs) {
+		b.err = fmt.Errorf("faqs: tuple %v has arity %d, schema %v wants %d",
+			tuple, len(tuple), b.schema.attrs, len(b.schema.attrs))
+		return b
+	}
+	if b.plain {
+		b.err = fmt.Errorf("faqs: cannot mix Add and AddValued on one relation")
+		return b
+	}
+	b.valued = true
+	b.tuples = append(b.tuples, append([]int(nil), tuple...))
+	b.values = append(b.values, value)
+	return b
+}
+
+// Len returns the number of tuples ingested so far.
+func (b *RelationBuilder) Len() int { return len(b.tuples) }
+
+// Err returns the first ingestion error, if any.
+func (b *RelationBuilder) Err() error { return b.err }
+
+// Relation finalizes the builder. The builder must not be reused after.
+func (b *RelationBuilder) Relation() (*Relation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &Relation{schema: b.schema, tuples: b.tuples, values: b.values}, nil
+}

@@ -147,6 +147,33 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 	return g.ReRoot(best), nil
 }
 
+// SolveOptions configures one GHD bottom-up pass. The zero value is the
+// plain parallel solve on the process-default pool; every solver entry
+// point of this package is a thin wrapper over SolveGHD with a fixed
+// option set.
+type SolveOptions struct {
+	// Pool schedules the forest pass; nil uses exec.Default(). Engines
+	// configured with a private worker budget (faqs.WithWorkers) thread
+	// their own pool here — worker counts never change results, only
+	// scheduling.
+	Pool *exec.Pool
+	// Timed collects the wall-clock cost of every node task (indexed by
+	// GHD node), the vector exec.Makespan replays and the plan cache
+	// folds into its measured task shapes.
+	Timed bool
+	// Shaped collects exec.TaskShape intra-node divisibility accounting
+	// instead; the pass runs strictly sequentially (exec.ForestShaped is
+	// a measurement harness). Takes precedence over Timed.
+	Shaped bool
+}
+
+// SolveMetrics carries the optional measurements of a SolveGHD run:
+// Costs when SolveOptions.Timed was set, Shapes when Shaped was.
+type SolveMetrics struct {
+	Costs  []int64
+	Shapes []exec.TaskShape
+}
+
 // SolveOnGHD is Solve with a caller-chosen decomposition (used by the
 // distributed protocols, which must run on the same tree they schedule
 // communication for).
@@ -159,7 +186,7 @@ func RootForFree(g *ghd.GHD, free []int) (*ghd.GHD, error) {
 // aggregation — is unchanged from the sequential pass, so the result is
 // bit-identical at any worker count.
 func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
-	rel, _, _, err := solveOnGHD(nil, q, g, solvePlain)
+	rel, _, err := SolveGHD(nil, q, g, SolveOptions{})
 	return rel, err
 }
 
@@ -171,8 +198,8 @@ func SolveOnGHD[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], error) {
 // wall clock (indexed by GHD node), which the plan cache folds into its
 // measured task shapes for /stats and schedule-replay accounting.
 func SolveOnGHDCtx[T any](ctx context.Context, q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
-	rel, costs, _, err := solveOnGHD(ctx, q, g, solveTimed)
-	return rel, costs, err
+	rel, m, err := SolveGHD(ctx, q, g, SolveOptions{Timed: true})
+	return rel, m.Costs, err
 }
 
 // SolveOnGHDTimed is SolveOnGHD, additionally returning the wall-clock
@@ -180,8 +207,8 @@ func SolveOnGHDCtx[T any](ctx context.Context, q *Query[T], g *ghd.GHD) (*relati
 // The cost vector feeds exec.Makespan's schedule replay — the
 // hardware-independent speedup accounting of `faqbench -parallel`.
 func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []int64, error) {
-	rel, costs, _, err := solveOnGHD(nil, q, g, solveTimed)
-	return rel, costs, err
+	rel, m, err := SolveGHD(nil, q, g, SolveOptions{Timed: true})
+	return rel, m.Costs, err
 }
 
 // SolveOnGHDShaped is SolveOnGHDTimed with intra-node divisibility
@@ -194,26 +221,23 @@ func SolveOnGHDTimed[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []i
 // replay. Meaningful with the default pool at 1 worker, so the kernels
 // take the sequential paths that mark those regions.
 func SolveOnGHDShaped[T any](q *Query[T], g *ghd.GHD) (*relation.Relation[T], []exec.TaskShape, error) {
-	rel, _, shapes, err := solveOnGHD(nil, q, g, solveShaped)
-	return rel, shapes, err
+	rel, m, err := SolveGHD(nil, q, g, SolveOptions{Shaped: true})
+	return rel, m.Shapes, err
 }
 
-type solveMode int
-
-const (
-	solvePlain solveMode = iota
-	solveTimed
-	solveShaped
-)
-
-func solveOnGHD[T any](ctx context.Context, q *Query[T], g *ghd.GHD, mode solveMode) (*relation.Relation[T], []int64, []exec.TaskShape, error) {
+// SolveGHD is the single bottom-up-pass entry point behind every
+// SolveOnGHD* wrapper: one ctx+options core instead of per-mode
+// variants. ctx may be nil (background); opts selects the pool and the
+// measurement mode.
+func SolveGHD[T any](ctx context.Context, q *Query[T], g *ghd.GHD, opts SolveOptions) (*relation.Relation[T], SolveMetrics, error) {
+	var metrics SolveMetrics
 	if err := q.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, metrics, err
 	}
 	rootBag := g.Bags[g.Root]
 	for _, v := range q.Free {
 		if !hypergraph.ContainsSorted(rootBag, v) {
-			return nil, nil, nil, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
+			return nil, metrics, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
 		}
 	}
 
@@ -275,21 +299,23 @@ func solveOnGHD[T any](ctx context.Context, q *Query[T], g *ghd.GHD, mode solveM
 			return task(v)
 		}
 	}
-	var costs []int64
-	var shapes []exec.TaskShape
+	pool := opts.Pool
+	if pool == nil {
+		pool = exec.Default()
+	}
 	var err error
-	switch mode {
-	case solveTimed:
-		costs, err = exec.Default().ForestTimed(g.Parent, run)
-	case solveShaped:
-		shapes, err = exec.Default().ForestShaped(g.Parent, run)
+	switch {
+	case opts.Shaped:
+		metrics.Shapes, err = pool.ForestShaped(g.Parent, run)
+	case opts.Timed:
+		metrics.Costs, err = pool.ForestTimed(g.Parent, run)
 	default:
-		err = exec.Default().ForestCtx(ctx, g.Parent, task)
+		err = pool.ForestCtx(ctx, g.Parent, task)
 	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, SolveMetrics{}, err
 	}
-	return msgs[g.Root], costs, shapes, nil
+	return msgs[g.Root], metrics, nil
 }
 
 // BCQValue extracts the Boolean answer of a BCQ result (a scalar

@@ -245,12 +245,33 @@ func decomposeFrom(h *Hypergraph, res *GYOResult) *Decomposition {
 	// tree's attachment to the core (Appendix C.2 roots H₃'s tree at
 	// e4 = (A,B,E), the member meeting the core in {A,B}). Ties break to
 	// the lowest edge index.
+	//
+	// Only EXIT edges — members whose subsumption witness lies outside
+	// the tree (a core edge, or nothing) — are root candidates: the
+	// GYO-GHD construction attaches removed edges under their witnesses,
+	// so exits are exactly the edges that end up adjacent to the fat
+	// root, and V(C(H)) absorbs the root's vertex set, which the running
+	// intersection property then needs next to the fat root. (A
+	// non-exit root would sit buried mid-chain while its vertices sat in
+	// χ(r′), making the construction invalid — previously reachable via
+	// empty-core disconnected forests, where every core overlap is 0 and
+	// the plain lowest-index tie-break could pick a mid-chain member.)
 	coreVerts := h.VerticesOf(res.CoreEdges)
-	for _, members := range groups {
+	inTree := make(map[int]map[int]bool, len(groups))
+	for g, members := range groups {
+		set := make(map[int]bool, len(members))
+		for _, e := range members {
+			set[e] = true
+		}
+		inTree[g] = set
+	}
+	for g, members := range groups {
 		sort.Ints(members)
-		root := members[0]
-		best := len(IntersectSorted(h.edges[root], coreVerts))
-		for _, e := range members[1:] {
+		root, best := -1, -1
+		for _, e := range members {
+			if w := res.Parent[e]; w != -1 && inTree[g][w] {
+				continue // witness inside the tree: not an exit
+			}
 			if ov := len(IntersectSorted(h.edges[e], coreVerts)); ov > best {
 				root, best = e, ov
 			}

@@ -3,6 +3,7 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,21 @@ type NodeBound struct {
 	Bag      int  `json:"bag"`      // |χ(v)|
 	Labels   int  `json:"labels"`   // |λ(v)|
 	Internal bool `json:"internal"` // counted by y(H) (Definition 2.9)
+}
+
+// TupleBound returns the worst-case output cardinality of the node for
+// size parameter n = max_e |R_e|: label-covered nodes (one hyperedge,
+// the GYO-GHD common case) emit messages of at most n tuples (eq. 24);
+// a fat core root materializes up to n^|χ(v)| tuples, exactly as the
+// paper's trivial protocol materializes the cyclic core at one player.
+func (b NodeBound) TupleBound(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if b.Labels <= 1 {
+		return float64(n)
+	}
+	return math.Pow(float64(n), float64(b.Bag))
 }
 
 // Plan is one compiled query shape: the data-independent planning output
@@ -137,6 +153,30 @@ func (p *Plan) Bind(fp *Fingerprint, h *hypergraph.Hypergraph) (*ghd.GHD, error)
 		return nil, fmt.Errorf("plan: bound decomposition invalid (fingerprint collision?): %w", err)
 	}
 	return g, nil
+}
+
+// EstimateBytes bounds the peak materialization of executing this plan
+// on a request with size parameter n = max_e |R_e|, in bytes: the sum of
+// the per-node TupleBounds priced at the columnar layout (4 bytes per
+// int32 column plus an 8-byte annotation). Fallback plans price the full
+// brute-force join over every variable. This is the admission-control
+// estimate behind service memory budgets — structural, data-independent,
+// and deliberately pessimistic (a float so huge bounds saturate instead
+// of overflowing).
+func (p *Plan) EstimateBytes(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	rowBytes := func(arity int) float64 { return float64(4*arity + 8) }
+	if p.Fallback {
+		vars := p.H.NumVertices()
+		return math.Pow(float64(n), float64(vars)) * rowBytes(vars)
+	}
+	total := 0.0
+	for _, b := range p.NodeBounds {
+		total += b.TupleBound(n) * rowBytes(b.Bag)
+	}
+	return total
 }
 
 // RecordExec books one execution of the plan and folds the measured

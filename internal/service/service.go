@@ -17,15 +17,77 @@ package service
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/faq"
+	"repro/internal/ghd"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/semiring"
 )
+
+// ErrOverBudget is the admission-control sentinel: the plan's structural
+// memory bound (plan.Plan.EstimateBytes, derived from the per-node
+// NodeBounds) exceeds the service's configured budget, so the request is
+// rejected before any execution work. Match with errors.Is; the concrete
+// error is a *BudgetError carrying the numbers.
+var ErrOverBudget = errors.New("service: plan memory bound exceeds budget")
+
+// ErrFallbackDisabled is returned when a query shape violates the
+// paper's free-variable restriction (F ⊄ every bag, Appendix G.5) and
+// the service was configured without the brute-force fallback: no GHD
+// plan can deliver the marginal and the exponential path is off.
+var ErrFallbackDisabled = errors.New("service: query requires brute-force fallback, which is disabled")
+
+// BudgetError is the typed admission-control rejection: the structural
+// estimate for executing the plan against this request's data exceeds
+// the configured budget. errors.Is(err, ErrOverBudget) matches it.
+type BudgetError struct {
+	EstimateBytes float64 // plan.EstimateBytes at the request's N
+	BudgetBytes   int64   // the configured budget
+	PlanHash      uint64  // fingerprint of the rejected plan
+	N             int     // the request's max factor size
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("service: plan %016x needs ~%.3g bytes at N=%d, budget %d: %v",
+		e.PlanHash, e.EstimateBytes, e.N, e.BudgetBytes, ErrOverBudget)
+}
+
+// Is makes errors.Is(err, ErrOverBudget) succeed on BudgetError values.
+func (e *BudgetError) Is(target error) bool { return target == ErrOverBudget }
+
+// Option configures a Service (functional options on New).
+type Option func(*config)
+
+type config struct {
+	pool       *exec.Pool
+	budget     int64
+	noFallback bool
+}
+
+// WithPool runs the service's GHD passes on a caller-owned exec pool
+// instead of the process default. Worker counts never change answers —
+// only scheduling — per the exec-layer contract.
+func WithPool(p *exec.Pool) Option { return func(c *config) { c.pool = p } }
+
+// WithMemoryBudget enables admission control: any request whose plan's
+// structural bound (plan.Plan.EstimateBytes at the request's N) exceeds
+// bytes is rejected with a *BudgetError before execution. bytes <= 0
+// disables the check.
+func WithMemoryBudget(bytes int64) Option { return func(c *config) { c.budget = bytes } }
+
+// WithBruteForceFallback toggles the exponential faq.BruteForce path for
+// shapes violating the free-variable restriction. It defaults to on
+// (mirroring the solver contract); disabled services return
+// ErrFallbackDisabled instead.
+func WithBruteForceFallback(enabled bool) Option {
+	return func(c *config) { c.noFallback = !enabled }
+}
 
 // Info reports how one request was served.
 type Info struct {
@@ -46,17 +108,25 @@ type Service[T any] struct {
 	s     semiring.Semiring[T]
 	name  string
 	cache *plan.Cache
+	cfg   config
 
 	requests  atomic.Int64
 	batches   atomic.Int64
 	fallbacks atomic.Int64
+	rejected  atomic.Int64
 	errors    atomic.Int64
 }
 
 // New returns a service over semiring s. name namespaces the cache keys
 // (use the wire semiring name); cache may be shared across services.
-func New[T any](s semiring.Semiring[T], name string, cache *plan.Cache) *Service[T] {
-	return &Service[T]{s: s, name: name, cache: cache}
+// Options configure the exec pool, admission control, and the
+// brute-force fallback policy.
+func New[T any](s semiring.Semiring[T], name string, cache *plan.Cache, opts ...Option) *Service[T] {
+	sv := &Service[T]{s: s, name: name, cache: cache}
+	for _, o := range opts {
+		o(&sv.cfg)
+	}
+	return sv
 }
 
 // Cache exposes the underlying plan cache (stats endpoints read it).
@@ -72,6 +142,7 @@ type Stats struct {
 	Requests  int64  `json:"requests"`
 	Batches   int64  `json:"batches"`
 	Fallbacks int64  `json:"fallbacks"`
+	Rejected  int64  `json:"rejected"` // admission-control rejections
 	Errors    int64  `json:"errors"`
 }
 
@@ -82,6 +153,7 @@ func (sv *Service[T]) Stats() Stats {
 		Requests:  sv.requests.Load(),
 		Batches:   sv.batches.Load(),
 		Fallbacks: sv.fallbacks.Load(),
+		Rejected:  sv.rejected.Load(),
 		Errors:    sv.errors.Load(),
 	}
 }
@@ -145,8 +217,30 @@ func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Rel
 	return ans, info, nil
 }
 
+// admit applies admission control and the fallback policy to a resolved
+// plan, before any execution work: over-budget requests are rejected
+// with a *BudgetError, and fallback-requiring shapes error when the
+// exponential path is disabled.
+func (sv *Service[T]) admit(q *faq.Query[T], p *plan.Plan) error {
+	if p.Fallback && sv.cfg.noFallback {
+		sv.rejected.Add(1)
+		return fmt.Errorf("service: %w: %w", ErrFallbackDisabled, faq.ErrFreeOutsideRoot)
+	}
+	if sv.cfg.budget > 0 {
+		n := q.MaxFactorSize()
+		if est := p.EstimateBytes(n); est > float64(sv.cfg.budget) {
+			sv.rejected.Add(1)
+			return &BudgetError{EstimateBytes: est, BudgetBytes: sv.cfg.budget, PlanHash: p.Hash, N: n}
+		}
+	}
+	return nil
+}
+
 // execute binds and runs one request against a resolved plan.
 func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan, fp *plan.Fingerprint, info *Info) (*relation.Relation[T], error) {
+	if err := sv.admit(q, p); err != nil {
+		return nil, err
+	}
 	if p.Fallback {
 		info.Fallback = true
 		sv.fallbacks.Add(1)
@@ -169,13 +263,53 @@ func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan
 	}
 	info.BindNS = time.Since(tb).Nanoseconds()
 	te := time.Now()
-	ans, costs, err := faq.SolveOnGHDCtx(ctx, q, g)
+	ans, m, err := faq.SolveGHD(ctx, q, g, faq.SolveOptions{Pool: sv.cfg.pool, Timed: true})
 	info.ExecNS = time.Since(te).Nanoseconds()
 	if err != nil {
 		return nil, err
 	}
-	p.RecordExec(costs)
+	p.RecordExec(m.Costs)
 	return ans, nil
+}
+
+// Explain resolves (compiling on a miss, counted exactly like Solve) the
+// plan for q's shape and binds its decomposition onto the request's own
+// variable ids, without executing anything. It returns the compiled
+// plan, the bound GHD (nil for brute-force fallback shapes), and the
+// serving metadata — fingerprint, cache hit/miss, canonicalization and
+// plan-fetch timings. This is the data behind faqs.Engine.Explain and
+// faqd's /explain endpoint.
+func (sv *Service[T]) Explain(q *faq.Query[T]) (*plan.Plan, *ghd.GHD, Info, error) {
+	t0 := time.Now()
+	var info Info
+	if err := q.Validate(); err != nil {
+		return nil, nil, info, err
+	}
+	fp, err := plan.Canonicalize(q.H, q.Free, opNames(q))
+	if err != nil {
+		return nil, nil, info, err
+	}
+	info.CanonNS = time.Since(t0).Nanoseconds()
+	tp := time.Now()
+	p, hit, err := sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
+	if err != nil {
+		return nil, nil, info, err
+	}
+	info.PlanNS = time.Since(tp).Nanoseconds()
+	info.PlanHash = p.Hash
+	info.CacheHit = hit
+	info.Fallback = p.Fallback
+	var g *ghd.GHD
+	if !p.Fallback {
+		tb := time.Now()
+		g, err = p.Bind(fp, q.H)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		info.BindNS = time.Since(tb).Nanoseconds()
+	}
+	info.TotalNS = time.Since(t0).Nanoseconds()
+	return p, g, info, nil
 }
 
 // SolveBatch serves a batch, grouping same-plan requests: each distinct

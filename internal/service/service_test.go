@@ -187,62 +187,3 @@ func TestServiceBatchGroupsPlans(t *testing.T) {
 		t.Fatalf("batch compiled %d plans for 2 shapes", st.Compiles)
 	}
 }
-
-// TestWireRoundTrip drives BuildQuery/AnswerToWire: a wire request built
-// from a query solves to the same answer as the native query.
-func TestWireRoundTrip(t *testing.T) {
-	s := semiring.Count{}
-	wr := &WireRequest{
-		Semiring: "count",
-		Edges:    [][]string{{"A", "B"}, {"B", "C"}},
-		Factors: []WireFactor{
-			{Tuples: [][]int{{0, 1}, {1, 1}, {2, 0}}, Values: []float64{1, 2, 1}},
-			{Tuples: [][]int{{1, 0}, {1, 2}, {0, 2}}},
-		},
-		Free: []string{"A"},
-		Dom:  3,
-	}
-	q, err := BuildQuery[int64](s, wr, func(v float64) int64 { return int64(v) })
-	if err != nil {
-		t.Fatal(err)
-	}
-	sv := New[int64](s, "count", plan.NewCache(4))
-	ans, info, err := sv.Solve(context.Background(), q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := faq.Solve(q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bitIdentical(ans, want) {
-		t.Fatal("wire-built query answer differs from direct solve")
-	}
-	wa := AnswerToWire(q, ans, func(v int64) float64 { return float64(v) }, info)
-	if len(wa.Schema) != 1 || wa.Schema[0] != "A" {
-		t.Fatalf("wire schema %v", wa.Schema)
-	}
-	if len(wa.Tuples) != ans.Len() {
-		t.Fatalf("wire tuples %d != %d", len(wa.Tuples), ans.Len())
-	}
-}
-
-// TestWireMalformed pins BuildQuery's validation errors.
-func TestWireMalformed(t *testing.T) {
-	s := semiring.Count{}
-	conv := func(v float64) int64 { return int64(v) }
-	cases := []*WireRequest{
-		{Semiring: "count", Dom: 3},
-		{Semiring: "count", Edges: [][]string{{"A"}}, Dom: 3},
-		{Semiring: "count", Edges: [][]string{{}}, Factors: []WireFactor{{}}, Dom: 3},
-		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0, 1}}}}, Dom: 3},
-		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}}}, Dom: 0},
-		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}, Values: []float64{}}}, Dom: 3},
-		{Semiring: "count", Edges: [][]string{{"A"}}, Factors: []WireFactor{{Tuples: [][]int{{0}}}}, Free: []string{"Z"}, Dom: 3},
-	}
-	for i, wr := range cases {
-		if _, err := BuildQuery[int64](s, wr, conv); err == nil {
-			t.Errorf("case %d: want error", i)
-		}
-	}
-}
