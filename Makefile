@@ -29,6 +29,11 @@
 #   make vet-imports — fail if cmd/ or examples/ import internal/
 #                 packages directly instead of going through the public
 #                 faqs façade (allowlist below; part of `make check`)
+#   make chaos  — failpoint sweep under the race detector at 1/2/8
+#                 workers: every registered fault-injection site fired
+#                 in every mode must yield a typed error or a
+#                 bit-identical answer, never a hang or panic escape
+#                 (part of `make check`)
 
 GO        ?= go
 BENCHTIME ?= 0.5s
@@ -45,7 +50,11 @@ WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./intern
 # solvers, and ghdtool dumps GYO traces no public API exposes.
 FACADE_ONLY = ./cmd/faqd ./cmd/faqrun ./examples/...
 
-.PHONY: build test vet vet-imports race check bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
+.PHONY: build test vet vet-imports race check chaos bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
+
+# The packages holding chaos (failpoint-sweep) suites: the serving path,
+# the kernels, the netsim ledger, and the daemon's HTTP boundary.
+CHAOS_PKGS = ./internal/service/ ./internal/relation/ ./internal/protocol/ ./internal/fault/ ./cmd/faqd/
 
 build:
 	$(GO) build ./...
@@ -68,7 +77,12 @@ vet-imports:
 race:
 	$(GO) test -race ./...
 
-check: build vet vet-imports test
+check: build vet vet-imports test chaos
+
+chaos:
+	FAQ_WORKERS=1 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
+	FAQ_WORKERS=2 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
+	FAQ_WORKERS=8 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
 
 examples:
 	$(GO) build ./examples/...

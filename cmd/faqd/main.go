@@ -13,23 +13,42 @@
 //	                X-Faqs-Plan-Cache response headers
 //	POST /explain — compile/fetch the plan only: GHD tree, y(H)/n₂(H)/
 //	                width/depth, per-node bounds, fingerprint, hit/miss
-//	GET  /stats   — cache and service counters, resident plan table
-//	GET  /healthz — liveness
+//	GET  /stats   — cache and service counters (including shed /
+//	                deadline-exceeded / recovered-panic degradation
+//	                counters), resident plan table
+//	GET  /healthz — readiness: 200 while serving, 503 while draining
+//
+// Status-code contract for solve failures (see README, Operations):
+// 429 budget admission rejection (retrying unchanged cannot succeed),
+// 503 transient — overloaded, deadline exceeded, or draining — with a
+// Retry-After header, 500 recovered internal panic, 422 invalid query.
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes (new
+// connections refused, /healthz already reports not-ready), in-flight
+// requests drain up to -drain, then remaining request contexts are
+// canceled.
 //
 // Usage:
 //
-//	faqd -addr :8080 -cache 256 -workers 0 -budget 0
+//	faqd -addr :8080 -cache 256 -workers 0 -budget 0 \
+//	     -deadline 30s -inflight 0 -drain 10s
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/faqs"
@@ -38,9 +57,19 @@ import (
 // maxRequestBytes bounds /solve bodies (64 MiB: ~1M tuples of arity 8).
 const maxRequestBytes = 64 << 20
 
+// retryAfterSeconds is the backoff hint sent with every 503 (the
+// faqload client honors it; the value is a hint, not a promise).
+const retryAfterSeconds = 1
+
+// solveFailpoint is the daemon's own chaos site, hit at the top of
+// every /solve request — the outermost layer of the sweep, registered
+// through the faqs façade (cmd/ may only import faqs).
+var solveFailpoint = faqs.RegisterFailpoint("faqd.solve")
+
 type server struct {
-	engine  *faqs.Engine
-	started time.Time
+	engine   *faqs.Engine
+	started  time.Time
+	draining atomic.Bool
 }
 
 func newServer(opts ...faqs.Option) *server {
@@ -53,10 +82,20 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the load-balancer readiness probe: a draining server
+// answers 503 so traffic routes elsewhere while in-flight requests
+// finish.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func main() {
@@ -64,6 +103,9 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "plan cache capacity in compiled query shapes (0 = default)")
 	workers := flag.Int("workers", 0, "exec pool workers (0 = GOMAXPROCS)")
 	budget := flag.Int64("budget", 0, "per-request memory budget in bytes for admission control (0 = unlimited)")
+	deadline := flag.Duration("deadline", 30*time.Second, "per-request solve deadline (0 = none)")
+	inflight := flag.Int("inflight", 0, "max concurrent solves before shedding with 503 (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
 	if *workers > 0 {
 		faqs.SetDefaultWorkers(*workers)
@@ -71,23 +113,49 @@ func main() {
 	srv := newServer(
 		faqs.WithPlanCache(*cacheSize),
 		faqs.WithMemoryBudget(*budget),
+		faqs.WithDeadline(*deadline),
+		faqs.WithMaxInFlight(*inflight),
 	)
-	log.Printf("faqd: listening on %s (cache %d plans, %d workers, budget %d)",
-		*addr, srv.engine.Stats().Cache.Capacity, faqs.DefaultWorkers(), *budget)
+	log.Printf("faqd: listening on %s (cache %d plans, %d workers, budget %d, deadline %s, inflight %d)",
+		*addr, srv.engine.Stats().Cache.Capacity, faqs.DefaultWorkers(), *budget, *deadline, *inflight)
 	// Header/idle timeouts bound slow-loris connections; request bodies
-	// are already capped by MaxBytesReader. No WriteTimeout: solve time
-	// is query-dependent and cancellation rides the request context.
+	// are already capped by MaxBytesReader. Solve time is bounded by the
+	// per-request deadline riding the request context (-deadline), which
+	// subsumes a WriteTimeout without killing the connection mid-write.
+	baseCtx, cancelInFlight := context.WithCancel(context.Background())
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		cancelInFlight()
 		fmt.Fprintf(os.Stderr, "faqd: %v\n", err)
 		os.Exit(1)
+	case <-sigCtx.Done():
 	}
+	stop() // a second signal kills the process the default way
+	srv.draining.Store(true)
+	log.Printf("faqd: shutdown signal received, draining in-flight requests (up to %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	err := httpSrv.Shutdown(shutCtx)
+	cancel()
+	cancelInFlight() // past the drain window: cancel whatever is still solving
+	if err != nil {
+		log.Printf("faqd: drain timeout exceeded, closing: %v", err)
+		_ = httpSrv.Close()
+	}
+	log.Printf("faqd: shutdown complete")
 }
 
 type wireError struct {
@@ -124,10 +192,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// Per-request cancellation: client disconnect stops the GHD pass.
+	if err := solveFailpoint.Hit(r.Context()); err != nil {
+		solveError(w, err)
+		return
+	}
+	// Per-request cancellation: client disconnect (and the engine's
+	// per-request deadline) stops the GHD pass.
 	wa, err := s.engine.SolveWire(r.Context(), wr)
 	if err != nil {
-		httpError(w, solveErrorStatus(err), err)
+		solveError(w, err)
 		return
 	}
 	planHeaders(w, wa.PlanHash, wa.CacheHit)
@@ -153,12 +226,30 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ex)
 }
 
-// solveErrorStatus maps serving failures onto HTTP: admission-control
-// rejections are load shedding (429), everything else is an
-// unprocessable request.
+// solveError maps a serving failure onto the HTTP contract and writes
+// it, attaching Retry-After to transient (503) rejections.
+func solveError(w http.ResponseWriter, err error) {
+	code := solveErrorStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	httpError(w, code, err)
+}
+
+// solveErrorStatus classifies serving failures: budget admission
+// rejections are 429 (the request itself is too big — retrying
+// unchanged cannot succeed), overload shedding and deadline hits are
+// transient 503s worth retrying after backoff, recovered panics and
+// injected faults are 500s, and everything else is an unprocessable
+// request.
 func solveErrorStatus(err error) int {
-	if errors.Is(err, faqs.ErrOverBudget) {
+	switch {
+	case errors.Is(err, faqs.ErrOverBudget):
 		return http.StatusTooManyRequests
+	case errors.Is(err, faqs.ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, faqs.ErrInternal), errors.Is(err, faqs.ErrInjected):
+		return http.StatusInternalServerError
 	}
 	return http.StatusUnprocessableEntity
 }
@@ -166,6 +257,7 @@ func solveErrorStatus(err error) int {
 type statsPayload struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	GoMaxProcs    int     `json:"gomaxprocs"`
+	Draining      bool    `json:"draining"`
 	faqs.Stats
 }
 
@@ -173,6 +265,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Draining:      s.draining.Load(),
 		Stats:         s.engine.Stats(),
 	})
 }

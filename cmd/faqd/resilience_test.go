@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/faqs"
+)
+
+// TestHealthzDraining pins the readiness contract: a serving daemon
+// answers 200, a draining one 503 with Retry-After so load balancers
+// stop routing to it.
+func TestHealthzDraining(t *testing.T) {
+	s := newServer()
+	mux := s.mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("serving healthz: status %d", rec.Code)
+	}
+
+	s.draining.Store(true)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("draining healthz carries no Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("draining healthz body %q does not say draining", rec.Body.String())
+	}
+}
+
+// TestSolveOverloadStatus pins the 503 + Retry-After shedding contract:
+// with a single in-flight slot held by a slow request, a concurrent
+// solve is shed — distinguishable from 429 budget rejections.
+func TestSolveOverloadStatus(t *testing.T) {
+	defer faqs.DisableFailpoints()
+	mux := newServer(faqs.WithMaxInFlight(1)).mux()
+
+	// Warm the plan, then hold the slot with an injected delay.
+	if rec := postJSON(t, mux, "/solve", testRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("warm solve: status %d", rec.Code)
+	}
+	if err := faqs.EnableFailpoints("service.solve=delay:300ms@once"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rec := postJSON(t, mux, "/solve", testRequest()); rec.Code != http.StatusOK {
+			t.Errorf("slot-holding solve: status %d", rec.Code)
+		}
+	}()
+	fp := faqs.RegisterFailpoint("service.solve")
+	deadline := time.Now().Add(10 * time.Second)
+	for fp.Fired() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fp.Fired() == 0 {
+		t.Fatal("slot-holding solve never reached the failpoint")
+	}
+	rec := postJSON(t, mux, "/solve", testRequest())
+	wg.Wait()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed solve: status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response carries no Retry-After")
+	}
+}
+
+// TestSolveDeadlineStatus pins deadline mapping: a solve cut off by the
+// per-request deadline is a transient 503 with Retry-After.
+func TestSolveDeadlineStatus(t *testing.T) {
+	defer faqs.DisableFailpoints()
+	mux := newServer(faqs.WithDeadline(20 * time.Millisecond)).mux()
+	if err := faqs.EnableFailpoints("service.solve=delay:10s"); err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, mux, "/solve", testRequest())
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-exceeded solve: status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response carries no Retry-After")
+	}
+}
+
+// TestSolvePanicStatus pins panic containment end to end: an injected
+// kernel panic comes back as a 500 with a JSON error body naming the
+// site — the process survives and keeps serving.
+func TestSolvePanicStatus(t *testing.T) {
+	defer faqs.DisableFailpoints()
+	mux := newServer().mux()
+	if err := faqs.EnableFailpoints("relation.join=panic@once"); err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, mux, "/solve", testRequest())
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("injected panic: status %d, want 500 (body %s)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "relation.join") {
+		t.Errorf("500 body %q does not record the failpoint site", rec.Body.String())
+	}
+	faqs.DisableFailpoints()
+	if rec := postJSON(t, mux, "/solve", testRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("daemon unusable after contained panic: status %d", rec.Code)
+	}
+}
+
+// TestFaqdFailpointStatus pins the daemon's own chaos site: an injected
+// handler error maps to 500, and the site is sweepable by name.
+func TestFaqdFailpointStatus(t *testing.T) {
+	defer faqs.DisableFailpoints()
+	mux := newServer().mux()
+	if err := faqs.EnableFailpoints("faqd.solve=error@once"); err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, mux, "/solve", testRequest())
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("faqd.solve error: status %d, want 500 (body %s)", rec.Code, rec.Body.String())
+	}
+	faqs.DisableFailpoints()
+	if rec := postJSON(t, mux, "/solve", testRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("daemon unusable after handler fault: status %d", rec.Code)
+	}
+}
+
+// TestStatsDegradationCounters pins the /stats satellite: shed,
+// deadline-exceeded, and recovered-panic counts surface per semiring
+// service, plus the draining flag.
+func TestStatsDegradationCounters(t *testing.T) {
+	defer faqs.DisableFailpoints()
+	s := newServer(faqs.WithDeadline(20 * time.Millisecond))
+	mux := s.mux()
+	if err := faqs.EnableFailpoints("service.solve=delay:10s@once"); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postJSON(t, mux, "/solve", testRequest()); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("setup solve: status %d, want 503", rec.Code)
+	}
+	faqs.DisableFailpoints()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats: status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, field := range []string{`"deadline_exceeded"`, `"shed"`, `"panics"`, `"draining"`} {
+		if !strings.Contains(body, field) {
+			t.Errorf("/stats body missing %s", field)
+		}
+	}
+	var payload struct {
+		Draining bool `json:"draining"`
+		Services []struct {
+			Semiring         string `json:"semiring"`
+			DeadlineExceeded int64  `json:"deadline_exceeded"`
+		} `json:"services"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	var hits int64
+	for _, svc := range payload.Services {
+		hits += svc.DeadlineExceeded
+	}
+	if hits == 0 {
+		t.Error("deadline hit not visible in /stats service counters")
+	}
+}

@@ -416,11 +416,49 @@ func run(out string, requests, n, dom int, workerSpec string, seed int64, url st
 	return nil
 }
 
-// runRemote smokes a running faqd: every request goes over HTTP, answers
-// are verified against the local direct solve (wire values are exact for
-// Count), and a /stats round-trip confirms the cache saw the shapes.
+// retryAttempts bounds postRetry: 5 tries spanning ~1.5 s of default
+// backoff before giving up on a persistently unavailable server.
+const retryAttempts = 5
+
+// postRetry posts body, retrying transient failures — transport errors
+// and 503 responses — with seeded-jitter exponential backoff, honoring
+// the server's Retry-After hint when present. Non-transient statuses
+// (429 budget rejections cannot succeed unchanged; 4xx/5xx otherwise
+// are the caller's to report) return immediately.
+func postRetry(client *http.Client, rng *rand.Rand, url string, body []byte) (*http.Response, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if attempt == retryAttempts {
+			if err != nil {
+				return nil, fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return resp, nil
+		}
+		// Full jitter in [backoff, 2·backoff); Retry-After overrides when
+		// the server knows better.
+		wait := backoff + time.Duration(rng.Int63n(int64(backoff)))
+		if resp != nil {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
+}
+
+// runRemote smokes a running faqd: every request goes over HTTP with
+// retry-on-transient semantics, answers are verified against the local
+// direct solve (wire values are exact for Count), and a /stats
+// round-trip confirms the cache saw the shapes.
 func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hypergraph, frees [][]int) error {
 	client := &http.Client{Timeout: 60 * time.Second}
+	rng := rand.New(rand.NewSource(seed * 7_919))
 	var lats []int64
 	for i := 0; i < requests; i++ {
 		r := genRequest(hs, frees, i, n, dom, seed)
@@ -430,7 +468,7 @@ func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hy
 			return err
 		}
 		t0 := time.Now()
-		resp, err := client.Post(url+"/solve", "application/json", bytes.NewReader(body))
+		resp, err := postRetry(client, rng, url+"/solve", body)
 		if err != nil {
 			return fmt.Errorf("POST /solve: %w", err)
 		}

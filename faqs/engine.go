@@ -3,6 +3,7 @@ package faqs
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/faq"
@@ -25,6 +26,13 @@ var (
 	// of the decomposition covers the free variables (F ⊄ V(C(H)),
 	// Appendix G.5 of the paper).
 	ErrFreeOutsideRoot = faq.ErrFreeOutsideRoot
+	// ErrOverloaded matches load-shed rejections: the engine's in-flight
+	// gate (WithMaxInFlight) was full. Transient — retry after backoff.
+	// Contrast ErrOverBudget, where retrying unchanged cannot succeed.
+	ErrOverloaded = service.ErrOverloaded
+	// ErrInternal matches panics recovered at the service boundary into
+	// typed errors — the "typed errors, never panics" façade contract.
+	ErrInternal = service.ErrInternal
 )
 
 // SetDefaultWorkers sets the process-wide default parallelism used by
@@ -41,10 +49,12 @@ func DefaultWorkers() int { return exec.Workers() }
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	cacheSize int
-	workers   int
-	budget    int64
-	fallback  bool
+	cacheSize   int
+	workers     int
+	budget      int64
+	fallback    bool
+	deadline    time.Duration
+	maxInFlight int
 }
 
 // WithWorkers gives the engine a private exec pool of n workers for its
@@ -76,6 +86,21 @@ func WithBruteForceFallback(enabled bool) Option {
 	return func(c *engineConfig) { c.fallback = enabled }
 }
 
+// WithDeadline caps every request's wall time: each Solve (and each
+// SolveBatch, as one unit) runs under a context.WithTimeout child of
+// the caller's ctx, so every node task downstream is gated and a slow
+// solve returns context.DeadlineExceeded instead of running forever.
+// d <= 0 disables the cap.
+func WithDeadline(d time.Duration) Option { return func(c *engineConfig) { c.deadline = d } }
+
+// WithMaxInFlight bounds concurrent requests engine-wide (one shared
+// gate across all semiring services): when n requests are already in
+// flight, further ones are shed immediately with an error matching
+// ErrOverloaded — flat rejection latency under overload, so the daemon
+// can answer 503 + Retry-After instead of queueing unboundedly.
+// n <= 0 disables shedding.
+func WithMaxInFlight(n int) Option { return func(c *engineConfig) { c.maxInFlight = n } }
+
 // Engine is the library's serving front end: one plan cache, one worker
 // configuration, and one typed service per registered semiring, all
 // behind a semiring-erased façade. Construct once, share freely —
@@ -105,6 +130,12 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	if cfg.budget > 0 {
 		svcOpts = append(svcOpts, service.WithMemoryBudget(cfg.budget))
+	}
+	if cfg.deadline > 0 {
+		svcOpts = append(svcOpts, service.WithDeadline(cfg.deadline))
+	}
+	if g := service.NewGate(cfg.maxInFlight); g != nil {
+		svcOpts = append(svcOpts, service.WithGate(g))
 	}
 	for _, s := range registry {
 		e.runners[s.name] = s.impl.newRunner(s.name, e.cache, svcOpts)
@@ -255,14 +286,22 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// ServiceStats mirrors one semiring service's request counters.
+// ServiceStats mirrors one semiring service's request counters. The
+// degradation counters separate the failure classes operators care
+// about: Rejected is budget admission control (HTTP 429), Shed is
+// transient overload from the in-flight gate (503), DeadlineExceeded is
+// per-request deadline hits, and Panics counts panics recovered into
+// typed internal errors at the service boundary.
 type ServiceStats struct {
-	Semiring  string `json:"semiring"`
-	Requests  int64  `json:"requests"`
-	Batches   int64  `json:"batches"`
-	Fallbacks int64  `json:"fallbacks"`
-	Rejected  int64  `json:"rejected"`
-	Errors    int64  `json:"errors"`
+	Semiring         string `json:"semiring"`
+	Requests         int64  `json:"requests"`
+	Batches          int64  `json:"batches"`
+	Fallbacks        int64  `json:"fallbacks"`
+	Rejected         int64  `json:"rejected"`
+	Errors           int64  `json:"errors"`
+	Shed             int64  `json:"shed"`
+	DeadlineExceeded int64  `json:"deadline_exceeded"`
+	Panics           int64  `json:"panics"`
 }
 
 // PlanNodeBound is the per-GHD-node slice of the paper's structural

@@ -1,0 +1,54 @@
+package faqs
+
+import (
+	"context"
+
+	"repro/internal/fault"
+)
+
+// ErrInjected matches every error produced by an armed failpoint
+// (errors.Is) — the typed signal chaos tests assert instead of string
+// matching.
+var ErrInjected = fault.ErrInjected
+
+// Failpoint is the façade over one named chaos-injection site, for
+// programs that only import faqs (cmd/faqd registers its handler site
+// through this). Disarmed failpoints cost one atomic load per hit.
+type Failpoint struct {
+	site *fault.Site
+}
+
+// RegisterFailpoint returns the failpoint named name, creating it on
+// first use (idempotent). Sites registered here join the same registry
+// as the internal layers', so FailpointNames and EnableFailpoints see
+// them uniformly.
+func RegisterFailpoint(name string) *Failpoint {
+	return &Failpoint{site: fault.Register(name)}
+}
+
+// Hit evaluates the failpoint: nil when disarmed or not triggering,
+// otherwise the armed behavior — a typed error matching ErrInjected,
+// a panic, a delay (aborting early when ctx cancels), or the context's
+// cancellation error. ctx may be nil.
+func (f *Failpoint) Hit(ctx context.Context) error { return f.site.Hit(ctx) }
+
+// Fired reports how many times the failpoint has fired since it was
+// last armed.
+func (f *Failpoint) Fired() uint64 { return f.site.Fired() }
+
+// EnableFailpoints arms sites from a spec string — one or more
+// ';'-separated "<site>=<mode>[:<arg>][@<pred>]" entries, with mode one
+// of error|panic|delay|cancel|off and pred one of always|once|1in<k>.
+// This is the FAQ_FAILPOINTS grammar; see the README's Operations
+// section. Unknown site names are held and arm if the site registers
+// later.
+func EnableFailpoints(spec string) error { return fault.EnableSpec(spec) }
+
+// DisableFailpoints disarms every failpoint and clears trigger
+// counters.
+func DisableFailpoints() { fault.Reset() }
+
+// FailpointNames returns every registered failpoint name, sorted —
+// the sweep universe for chaos tests (sites registered by packages
+// linked into the binary).
+func FailpointNames() []string { return fault.Names() }

@@ -1,0 +1,165 @@
+package faqs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// resilienceQuery builds one Count path query.
+func resilienceQuery(t *testing.T, seed int64) *Query {
+	t.Helper()
+	tpl := templates[0]
+	return buildTemplate(t, Count, tpl.spec, tpl.free, nil, seed, 200, 24)
+}
+
+// TestEngineDeadline pins faqs.WithDeadline: a solve that cannot finish
+// inside the deadline returns context.DeadlineExceeded (typed, prompt)
+// and the engine counts it; a generous deadline changes nothing.
+func TestEngineDeadline(t *testing.T) {
+	defer DisableFailpoints()
+	q := resilienceQuery(t, 11)
+
+	e := NewEngine(WithDeadline(30 * time.Second))
+	if _, err := e.Solve(context.Background(), q); err != nil {
+		t.Fatalf("generous deadline broke a healthy solve: %v", err)
+	}
+
+	// A per-hit delay larger than the deadline guarantees the request is
+	// still running when the deadline lands.
+	tight := NewEngine(WithDeadline(20 * time.Millisecond))
+	if err := EnableFailpoints("service.solve=delay:10s"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, err := tight.Solve(context.Background(), q)
+	DisableFailpoints()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow solve under 20ms deadline returned %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("deadline not prompt: %v", el)
+	}
+	found := false
+	for _, s := range tight.Stats().Services {
+		if s.DeadlineExceeded > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deadline hit not counted in ServiceStats.DeadlineExceeded")
+	}
+}
+
+// TestEngineMaxInFlight pins faqs.WithMaxInFlight: with the single slot
+// held by a deliberately slow request, concurrent solves shed with a
+// typed ErrOverloaded and the shed counter moves; the engine serves
+// normally once the slot frees.
+func TestEngineMaxInFlight(t *testing.T) {
+	defer DisableFailpoints()
+	q := resilienceQuery(t, 12)
+	e := NewEngine(WithMaxInFlight(1))
+
+	// Warm the plan first so the slow request's delay dominates.
+	if _, err := e.Solve(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := EnableFailpoints("service.solve=delay:300ms@once"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Solve(context.Background(), q); err != nil {
+			t.Errorf("slot-holding solve failed: %v", err)
+		}
+	}()
+	// Wait until the slow request reaches the armed site (it holds the
+	// gate slot the whole time).
+	fp := RegisterFailpoint("service.solve")
+	deadline := time.Now().Add(10 * time.Second)
+	for fp.Fired() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fp.Fired() == 0 {
+		t.Fatal("slot-holding solve never reached the failpoint")
+	}
+	_, err := e.Solve(context.Background(), q)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second in-flight solve returned %v, want ErrOverloaded", err)
+	}
+	wg.Wait()
+	DisableFailpoints()
+
+	shed := int64(0)
+	for _, s := range e.Stats().Services {
+		shed += s.Shed
+	}
+	if shed == 0 {
+		t.Fatal("shed request not counted in ServiceStats.Shed")
+	}
+	if _, err := e.Solve(context.Background(), q); err != nil {
+		t.Fatalf("engine unusable after shedding: %v", err)
+	}
+}
+
+// TestEnginePanicContainment pins the runtime "typed errors, never
+// panics" contract at the façade: an injected kernel panic surfaces as
+// ErrInternal (never crossing Solve as a panic), the panic counter
+// moves, and the engine keeps serving.
+func TestEnginePanicContainment(t *testing.T) {
+	defer DisableFailpoints()
+	q := resilienceQuery(t, 13)
+	e := NewEngine()
+
+	if err := EnableFailpoints("relation.join=panic@once"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Solve(context.Background(), q)
+	DisableFailpoints()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("injected kernel panic returned %v, want ErrInternal", err)
+	}
+
+	panics := int64(0)
+	for _, s := range e.Stats().Services {
+		panics += s.Panics
+	}
+	if panics == 0 {
+		t.Fatal("recovered panic not counted in ServiceStats.Panics")
+	}
+
+	res, err := e.Solve(context.Background(), q)
+	if err != nil {
+		t.Fatalf("engine unusable after contained panic: %v", err)
+	}
+	want := referenceSolve(t, q)
+	if len(res.Tuples) != len(want.Tuples) {
+		t.Fatal("post-panic answer differs from reference")
+	}
+}
+
+// TestFailpointSpecErrors pins the façade's spec validation.
+func TestFailpointSpecErrors(t *testing.T) {
+	defer DisableFailpoints()
+	if err := EnableFailpoints("service.solve=flood"); err == nil {
+		t.Fatal("malformed mode accepted")
+	}
+	if err := EnableFailpoints("service.solve=error@1in0"); err == nil {
+		t.Fatal("malformed predicate accepted")
+	}
+	names := FailpointNames()
+	found := false
+	for _, n := range names {
+		if n == "service.solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("service.solve missing from FailpointNames: %v", names)
+	}
+}

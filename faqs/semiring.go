@@ -298,6 +298,7 @@ func (r *typedRunner[T]) stats() ServiceStats {
 	return ServiceStats{
 		Semiring: s.Semiring, Requests: s.Requests, Batches: s.Batches,
 		Fallbacks: s.Fallbacks, Rejected: s.Rejected, Errors: s.Errors,
+		Shed: s.Shed, DeadlineExceeded: s.DeadlineExceeded, Panics: s.Panics,
 	}
 }
 

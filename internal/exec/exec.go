@@ -28,11 +28,87 @@ package exec
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// taskSite is the failpoint on Forest task dispatch: every node task of
+// a GHD pass passes through it, so chaos runs can fail, delay, or cancel
+// any scheduled unit of solver work. Disarmed it costs one atomic load
+// per task.
+var taskSite = fault.Register("exec.task")
+
+// TaskPanic is the payload the pool re-panics on the calling goroutine
+// when a task panicked inside a worker. Without this, a panic in a pool
+// goroutine would crash the process with no recovery point; with it,
+// parallel panics surface exactly where sequential execution would have
+// panicked, so the service boundary's recover contains them at any
+// worker count — the runtime enforcement of the "typed errors, never
+// panics" contract.
+type TaskPanic struct {
+	Val   any    // the original panic value
+	Stack []byte // stack of the panicking task goroutine
+}
+
+func (p *TaskPanic) String() string {
+	return fmt.Sprintf("exec: task panicked: %v\n%s", p.Val, p.Stack)
+}
+
+// asTaskPanic wraps a recovered value, preserving an already-wrapped
+// panic from a nested pool call.
+func asTaskPanic(r any) *TaskPanic {
+	if tp, ok := r.(*TaskPanic); ok {
+		return tp
+	}
+	return &TaskPanic{Val: r, Stack: debug.Stack()}
+}
+
+// panicError smuggles a recovered task panic through the pool's error
+// plumbing; it never escapes the package — every exit path converts it
+// back into a panic on the calling goroutine.
+type panicError struct{ p *TaskPanic }
+
+func (e *panicError) Error() string { return e.p.String() }
+
+// rethrow re-panics a captured task panic on the caller; no-op on nil
+// or ordinary errors.
+func rethrow(err error) {
+	if pe, ok := err.(*panicError); ok {
+		panic(pe.p)
+	}
+}
+
+// wrapPanic (deferred) normalizes a panic escaping a sequential pool
+// path into the same *TaskPanic the parallel paths produce, so callers
+// see one panic payload shape at every worker count.
+func wrapPanic() {
+	if r := recover(); r != nil {
+		panic(asTaskPanic(r))
+	}
+}
+
+// protect wraps a task so that the exec.task failpoint gates it and a
+// panic is captured as a *panicError instead of killing the worker
+// goroutine.
+func protect(run func(v int) error) func(v int) error {
+	return func(v int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &panicError{p: asTaskPanic(r)}
+			}
+		}()
+		if err := taskSite.Hit(nil); err != nil {
+			return err
+		}
+		return run(v)
+	}
+}
 
 // defaultWorkers holds the process-wide parallelism override; zero or
 // negative means "track GOMAXPROCS".
@@ -88,19 +164,26 @@ func (p *Pool) Workers() int {
 }
 
 // Map runs f(i) for every i in [0, n) across the pool and blocks until
-// all calls return. With one worker it degenerates to a plain loop.
+// all calls return. With one worker it degenerates to a plain loop. A
+// panicking call stops dispatch of not-yet-started indices and the first
+// captured panic re-surfaces on the calling goroutine as a *TaskPanic —
+// the same place a sequential loop's panic would land.
 func (p *Pool) Map(n int, f func(i int)) {
 	w := p.Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		defer wrapPanic()
 		for i := 0; i < n; i++ {
 			f(i)
 		}
 		return
 	}
 	var next atomic.Int64
+	var panicked atomic.Bool
+	var pmu sync.Mutex
+	var tp *TaskPanic
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
@@ -108,25 +191,42 @@ func (p *Pool) Map(n int, f func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || panicked.Load() {
 					return
 				}
-				f(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.Store(true)
+							pmu.Lock()
+							if tp == nil {
+								tp = asTaskPanic(r)
+							}
+							pmu.Unlock()
+						}
+					}()
+					f(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if tp != nil {
+		panic(tp)
+	}
 }
 
 // MapErr is Map with errgroup-style failure handling: the first error
 // stops dispatch of not-yet-started indices, every started call runs to
-// completion, and the lowest-index recorded error is returned.
+// completion, and the lowest-index recorded error is returned. A panic
+// in a worker is captured and re-panics on the calling goroutine.
 func (p *Pool) MapErr(n int, f func(i int) error) error {
 	w := p.Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		defer wrapPanic()
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
 				return err
@@ -147,7 +247,15 @@ func (p *Pool) MapErr(n int, f func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := f(i); err != nil {
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = &panicError{p: asTaskPanic(r)}
+						}
+					}()
+					return f(i)
+				}()
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -157,6 +265,7 @@ func (p *Pool) MapErr(n int, f func(i int) error) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			rethrow(err)
 			return err
 		}
 	}
@@ -173,11 +282,18 @@ func (p *Pool) MapErr(n int, f func(i int) error) error {
 // The synchronization is a happens-before edge from each child's
 // completion to its parent's start, so a task may freely read state
 // written by its children's tasks.
+//
+// Every task is gated by the exec.task failpoint and runs
+// panic-contained: a panic inside a task (worker goroutine or not)
+// re-surfaces as a *TaskPanic on the calling goroutine instead of
+// killing the process, so a recover at the service boundary sees it at
+// any worker count.
 func (p *Pool) Forest(parent []int, run func(v int) error) error {
 	n := len(parent)
 	if n == 0 {
 		return nil
 	}
+	run = protect(run)
 	pending := make([]int, n)
 	for _, pa := range parent {
 		if pa >= 0 {
@@ -192,6 +308,7 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 		// Sequential: a worklist in children-before-parents order.
 		for _, v := range seqOrder(parent) {
 			if err := run(v); err != nil {
+				rethrow(err)
 				return err
 			}
 		}
@@ -256,6 +373,7 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 		}()
 	}
 	wg.Wait()
+	rethrow(firstErr)
 	return firstErr
 }
 

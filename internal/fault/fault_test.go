@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedSiteIsFree(t *testing.T) {
+	defer Reset()
+	s := Register("test.disarmed")
+	for i := 0; i < 1000; i++ {
+		if err := s.Hit(nil); err != nil {
+			t.Fatalf("disarmed hit returned %v", err)
+		}
+	}
+	s.Inject() // must be a no-op
+	if got := s.Fired(); got != 0 {
+		t.Fatalf("disarmed site fired %d times", got)
+	}
+}
+
+func TestErrorModeIsTyped(t *testing.T) {
+	defer Reset()
+	s := Register("test.error")
+	Enable("test.error", Config{Mode: ModeError})
+	err := s.Hit(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error-mode hit: %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "test.error" {
+		t.Fatalf("error carries site %v, want test.error", err)
+	}
+}
+
+func TestPanicModeCarriesSite(t *testing.T) {
+	defer Reset()
+	s := Register("test.panic")
+	Enable("test.panic", Config{Mode: ModePanic})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok || ip.Site != "test.panic" {
+			t.Fatalf("recovered %v, want *InjectedPanic{test.panic}", r)
+		}
+	}()
+	_ = s.Hit(nil)
+	t.Fatal("panic-mode hit did not panic")
+}
+
+func TestInjectPanicsOnErrorMode(t *testing.T) {
+	defer Reset()
+	s := Register("test.inject")
+	Enable("test.inject", Config{Mode: ModeError})
+	defer func() {
+		if _, ok := recover().(*InjectedPanic); !ok {
+			t.Fatal("Inject with error mode must panic (no error path at the site)")
+		}
+	}()
+	s.Inject()
+	t.Fatal("Inject did not panic")
+}
+
+func TestCancelMode(t *testing.T) {
+	defer Reset()
+	s := Register("test.cancel")
+	Enable("test.cancel", Config{Mode: ModeCancel})
+	if err := s.Hit(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel-mode hit on live ctx: %v, want context.Canceled", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if err := s.Hit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancel-mode hit on expired ctx: %v, want the ctx error", err)
+	}
+}
+
+func TestDelayModeRespectsCtx(t *testing.T) {
+	defer Reset()
+	s := Register("test.delay")
+	Enable("test.delay", Config{Mode: ModeDelay, Delay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := s.Hit(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("delay-mode hit under cancel: %v, want context.Canceled", err)
+	}
+	if el := time.Since(t0); el > 5*time.Second {
+		t.Fatalf("delay did not abort on cancel (took %v)", el)
+	}
+}
+
+func TestTriggerPredicates(t *testing.T) {
+	defer Reset()
+	s := Register("test.pred")
+
+	Enable("test.pred", Config{Mode: ModeError, Once: true})
+	if err := s.Hit(nil); err == nil {
+		t.Fatal("once: first hit did not fire")
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Hit(nil); err != nil {
+			t.Fatalf("once: hit %d fired again: %v", i+2, err)
+		}
+	}
+
+	Enable("test.pred", Config{Mode: ModeError, OneIn: 3})
+	var fired int
+	for i := 0; i < 9; i++ {
+		if s.Hit(nil) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("1in3 over 9 hits fired %d times, want 3", fired)
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", s.Fired())
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	defer Reset()
+	s := Register("test.spec")
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"test.spec=error", Config{Mode: ModeError}},
+		{"test.spec=panic@once", Config{Mode: ModePanic, Once: true}},
+		{"test.spec=delay:5ms@1in4", Config{Mode: ModeDelay, Delay: 5 * time.Millisecond, OneIn: 4}},
+		{"test.spec=delay:7", Config{Mode: ModeDelay, Arg: 7}},
+		{" test.spec = cancel ", Config{Mode: ModeCancel}},
+	}
+	for _, tc := range cases {
+		if err := EnableSpec(tc.spec); err != nil {
+			t.Fatalf("EnableSpec(%q): %v", tc.spec, err)
+		}
+		got := s.cfg.Load()
+		if got == nil || *got != tc.want {
+			t.Errorf("EnableSpec(%q) armed %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"nomode", "x=", "=error", "x=flood", "x=error@1in0", "x=delay:zzz"} {
+		if err := EnableSpec(bad); err == nil {
+			t.Errorf("EnableSpec(%q) accepted malformed spec", bad)
+		}
+	}
+	// Multi-entry spec with empties.
+	if err := EnableSpec("test.spec=error; ;test.spec=off"); err != nil {
+		t.Fatalf("multi-entry spec: %v", err)
+	}
+	if s.cfg.Load() != nil {
+		t.Error("mode off did not disarm the site")
+	}
+}
+
+func TestPendingSpecArmsAtRegister(t *testing.T) {
+	defer Reset()
+	if err := EnableSpec("test.late=error"); err != nil {
+		t.Fatal(err)
+	}
+	s := Register("test.late")
+	if err := s.Hit(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("pending spec did not arm at registration: %v", err)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	defer Reset()
+	a := Register("test.same")
+	b := Register("test.same")
+	if a != b {
+		t.Fatal("Register returned distinct sites for one name")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Reset()
+	s := Register("test.conc")
+	Enable("test.conc", Config{Mode: ModeError, OneIn: 2})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 250; i++ {
+				if s.Hit(nil) != nil {
+					n++
+				}
+			}
+			fired.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	fired.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 1000 {
+		t.Fatalf("1in2 over 2000 concurrent hits fired %d times, want 1000", total)
+	}
+}

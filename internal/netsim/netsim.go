@@ -13,10 +13,63 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/topology"
 )
+
+// Chaos failpoints on the message ledger. The three sites are evaluated
+// per message (Reserve / SendBits / RoutePath call), in this order:
+//
+//	netsim.drop  — the message is lost: the call returns a typed
+//	               *MessageLostError (errors.Is ErrMessageLost) and
+//	               books nothing, the shape a real lossy channel shows.
+//	netsim.delay — the message leaves Arg rounds late (default 1): the
+//	               earliest send round is pushed back, so answers stay
+//	               bit-identical while Report round counts grow.
+//	netsim.dup   — the message is booked twice (duplicate delivery):
+//	               the reported delivery round is the original copy's,
+//	               so answers stay bit-identical while ledger bits grow.
+var (
+	dropSite     = fault.Register("netsim.drop")
+	dupSite      = fault.Register("netsim.dup")
+	msgDelaySite = fault.Register("netsim.delay")
+)
+
+// ErrMessageLost matches every drop-site injection (errors.Is).
+var ErrMessageLost = errors.New("netsim: message lost")
+
+// MessageLostError reports an injected message loss between two nodes.
+type MessageLostError struct {
+	From, To int
+}
+
+func (e *MessageLostError) Error() string {
+	return fmt.Sprintf("netsim: message from %d to %d lost (injected)", e.From, e.To)
+}
+
+// Is makes errors.Is(err, ErrMessageLost) succeed.
+func (e *MessageLostError) Is(target error) bool { return target == ErrMessageLost }
+
+// messageFaults evaluates the per-message failpoints for a message from
+// u to v first sendable at round start. It returns the (possibly
+// delayed) start round and whether the message must be booked twice.
+func (n *Network) messageFaults(u, v, start int) (int, bool, error) {
+	if _, ok := dropSite.Fire(); ok {
+		return 0, false, &MessageLostError{From: u, To: v}
+	}
+	if cfg, ok := msgDelaySite.Fire(); ok {
+		d := cfg.Arg
+		if d <= 0 {
+			d = 1
+		}
+		start += d
+	}
+	_, dup := dupSite.Fire()
+	return start, dup, nil
+}
 
 // Network wraps a topology with a per-(edge, round) bit ledger.
 type Network struct {
@@ -98,7 +151,15 @@ func (n *Network) Reserve(u, v, earliest, bits int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return n.reserve(e, earliest, bits) + 1, nil
+	earliest, dup, err := n.messageFaults(u, v, earliest)
+	if err != nil {
+		return 0, err
+	}
+	r := n.reserve(e, earliest, bits) + 1
+	if dup {
+		n.reserve(e, earliest, bits)
+	}
+	return r, nil
 }
 
 // edgeOf validates adjacency and returns the edge id.
@@ -126,15 +187,26 @@ func (n *Network) SendBits(u, v, start, bits int) (int, error) {
 	if bits == 0 {
 		return start, nil
 	}
-	r := start
-	remaining := bits
-	for remaining > 0 {
-		chunk := remaining
-		if chunk > n.b {
-			chunk = n.b
+	start, dup, err := n.messageFaults(u, v, start)
+	if err != nil {
+		return 0, err
+	}
+	send := func() int {
+		r := start
+		remaining := bits
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > n.b {
+				chunk = n.b
+			}
+			r = n.reserve(e, r, chunk) + 1
+			remaining -= chunk
 		}
-		r = n.reserve(e, r, chunk) + 1
-		remaining -= chunk
+		return r
+	}
+	r := send()
+	if dup {
+		send()
 	}
 	return r, nil
 }
@@ -161,23 +233,34 @@ func (n *Network) RoutePath(path []int, start, bits int) (int, error) {
 		}
 		edges[i] = e
 	}
-	finish := start
-	remaining := bits
-	ready := start // round at which the next chunk is available at hop 0
-	for remaining > 0 {
-		chunk := remaining
-		if chunk > n.b {
-			chunk = n.b
+	start, dup, err := n.messageFaults(path[0], path[len(path)-1], start)
+	if err != nil {
+		return 0, err
+	}
+	route := func() int {
+		finish := start
+		remaining := bits
+		ready := start // round at which the next chunk is available at hop 0
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > n.b {
+				chunk = n.b
+			}
+			r := ready
+			for _, e := range edges {
+				r = n.reserve(e, r, chunk) + 1
+			}
+			if r > finish {
+				finish = r
+			}
+			ready++ // source releases one chunk per round at the earliest
+			remaining -= chunk
 		}
-		r := ready
-		for _, e := range edges {
-			r = n.reserve(e, r, chunk) + 1
-		}
-		if r > finish {
-			finish = r
-		}
-		ready++ // source releases one chunk per round at the earliest
-		remaining -= chunk
+		return finish
+	}
+	finish := route()
+	if dup {
+		route()
 	}
 	return finish, nil
 }

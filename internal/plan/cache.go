@@ -4,7 +4,15 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"repro/internal/fault"
 )
+
+// compileSite injects faults into the singleflight compile path: an
+// error-mode hit fails the flight (and, like any failed compile, is not
+// cached — waiters see the error, a later request retries); a panic-mode
+// hit exercises the panic-settle path below.
+var compileSite = fault.Register("plan.compile")
 
 // DefaultCacheSize is the plan capacity a zero/negative NewCache argument
 // falls back to.
@@ -103,7 +111,9 @@ func (c *Cache) Get(key string, compile func() (*Plan, error)) (*Plan, bool, err
 			settle()
 		}
 	}()
-	p, err = compile()
+	if err = compileSite.Hit(nil); err == nil {
+		p, err = compile()
+	}
 	settled = true
 	settle()
 	return p, false, err

@@ -1,0 +1,114 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/netsim"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/topology"
+)
+
+// chaosSetup builds a seeded 4-factor path query on a 3-player line.
+func chaosSetup(seed int64) *Setup[int64] {
+	sc := semiring.Count{}
+	h := hypergraph.PathGraph(4)
+	r := rand.New(rand.NewSource(seed))
+	dom := 5
+	factors := make([]*relation.Relation[int64], h.NumEdges())
+	for i := range factors {
+		b := relation.NewBuilder[int64](sc, h.Edge(i))
+		tuple := make([]int, 2)
+		for k := 0; k < 14; k++ {
+			tuple[0], tuple[1] = r.Intn(dom), r.Intn(dom)
+			b.Add(tuple, int64(1+r.Intn(2)))
+		}
+		factors[i] = b.Build()
+	}
+	q := &faq.Query[int64]{S: sc, H: h, Factors: factors, DomSize: dom}
+	return &Setup[int64]{Q: q, G: topology.Line(3), Assign: Assignment{0, 1, 2}, Output: 2}
+}
+
+// TestNetsimChaos sweeps the message-ledger failpoints under the full
+// distributed protocol at 1/2/8 workers: an injected drop surfaces as a
+// typed message-lost error (never a hang or a wrong answer); injected
+// duplication and delay are absorbed — the answer stays bit-identical
+// to the fault-free run while only the Report's cost accounting grows
+// (bits for duplicates, rounds for delays).
+func TestNetsimChaos(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+
+	base := chaosSetup(321)
+	wantAns, wantRep, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := semiring.Count{}
+
+	for _, w := range []int{1, 2, 8} {
+		prev := exec.SetWorkers(w)
+		t.Run(fmt.Sprintf("w%d/drop", w), func(t *testing.T) {
+			fault.Enable("netsim.drop", fault.Config{Mode: fault.ModeError, Once: true})
+			defer fault.Reset()
+			_, _, err := Run(chaosSetup(321))
+			if !errors.Is(err, netsim.ErrMessageLost) {
+				t.Fatalf("dropped message returned %v, want ErrMessageLost", err)
+			}
+			var mle *netsim.MessageLostError
+			if !errors.As(err, &mle) {
+				t.Fatalf("drop error does not carry the endpoints: %v", err)
+			}
+		})
+
+		t.Run(fmt.Sprintf("w%d/dup", w), func(t *testing.T) {
+			fault.Enable("netsim.dup", fault.Config{Mode: fault.ModeError}) // mode is ignored; arming triggers Fire
+			defer fault.Reset()
+			ans, rep, err := Run(chaosSetup(321))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relation.Equal(sc, ans, wantAns) {
+				t.Fatal("duplicated messages changed the answer")
+			}
+			if rep.Bits <= wantRep.Bits {
+				t.Fatalf("duplicates booked no extra bits: %d <= %d", rep.Bits, wantRep.Bits)
+			}
+		})
+
+		t.Run(fmt.Sprintf("w%d/delay", w), func(t *testing.T) {
+			fault.Enable("netsim.delay", fault.Config{Mode: fault.ModeError, Arg: 2})
+			defer fault.Reset()
+			ans, rep, err := Run(chaosSetup(321))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relation.Equal(sc, ans, wantAns) {
+				t.Fatal("delayed messages changed the answer")
+			}
+			if rep.Rounds < wantRep.Rounds {
+				t.Fatalf("delays reduced rounds: %d < %d", rep.Rounds, wantRep.Rounds)
+			}
+			if rep.Bits != wantRep.Bits {
+				t.Fatalf("delays changed bit volume: %d != %d", rep.Bits, wantRep.Bits)
+			}
+		})
+
+		// Fault-free run after the sweep: identical answer and accounting.
+		ans, rep, err := Run(chaosSetup(321))
+		if err != nil {
+			t.Fatalf("w%d: post-chaos run failed: %v", w, err)
+		}
+		if !relation.Equal(sc, ans, wantAns) || rep.Rounds != wantRep.Rounds || rep.Bits != wantRep.Bits {
+			t.Fatalf("w%d: post-chaos run differs from baseline", w)
+		}
+		exec.SetWorkers(prev)
+	}
+}

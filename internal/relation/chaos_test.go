@@ -1,0 +1,124 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/semiring"
+)
+
+// chaosRelation builds a seeded two-column Count relation.
+func chaosRelation(schema []int, n, dom int, seed int64) *Relation[int64] {
+	s := semiring.Count{}
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilderHint[int64](s, schema, n)
+	tuple := make([]int, len(schema))
+	for i := 0; i < n; i++ {
+		for j := range tuple {
+			tuple[j] = r.Intn(dom)
+		}
+		b.Add(tuple, int64(1+r.Intn(3)))
+	}
+	return b.Build()
+}
+
+// recoverInjected runs f and returns the *fault.InjectedPanic it
+// panicked with, unwrapping the pool's TaskPanic envelope (parallel
+// kernel paths surface worker panics that way).
+func recoverInjected(f func()) (ip *fault.InjectedPanic) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if tp, ok := r.(*exec.TaskPanic); ok {
+			r = tp.Val
+		}
+		var ok bool
+		if ip, ok = r.(*fault.InjectedPanic); !ok {
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// TestKernelChaos sweeps the kernel-entry failpoints at the call shape
+// the kernels expose: the value-returning kernels (Join, Semijoin,
+// Build) panic with a typed *fault.InjectedPanic on every failing mode
+// — the payload the service boundary converts to ErrInternal — and
+// EliminateVar returns a typed error. Pinned at 1/2/8 workers since the
+// kernels partition internally; a contained fault never corrupts a
+// later fault-free run.
+func TestKernelChaos(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	s := semiring.Count{}
+	a := chaosRelation([]int{0, 1}, 400, 12, 1)
+	b := chaosRelation([]int{1, 2}, 400, 12, 2)
+
+	wantJoin := Join(s, a, b)
+	wantSemi := Semijoin(s, a, b)
+	wantElim, err := EliminateVar(s, a, 1, semiring.AddOf[int64](s), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kernels := []struct {
+		site string
+		run  func()
+	}{
+		{"relation.join", func() { Join(s, a, b) }},
+		{"relation.semijoin", func() { Semijoin(s, a, b) }},
+		{"relation.build", func() { chaosRelation([]int{0, 1}, 50, 8, 3) }},
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := exec.SetWorkers(w)
+		for _, k := range kernels {
+			for _, mode := range []fault.Mode{fault.ModeError, fault.ModePanic, fault.ModeCancel} {
+				t.Run(fmt.Sprintf("w%d/%s/%s", w, k.site, mode), func(t *testing.T) {
+					fault.Enable(k.site, fault.Config{Mode: mode, Once: true})
+					defer fault.Reset()
+					ip := recoverInjected(k.run)
+					if ip == nil || ip.Site != k.site {
+						t.Fatalf("kernel fault did not surface as InjectedPanic{%s}: %+v", k.site, ip)
+					}
+				})
+			}
+			// Delay mode must not change the kernel's answer.
+			t.Run(fmt.Sprintf("w%d/%s/delay", w, k.site), func(t *testing.T) {
+				fault.Enable(k.site, fault.Config{Mode: fault.ModeDelay, Once: true})
+				defer fault.Reset()
+				k.run()
+				if s, _ := fault.Lookup(k.site); s.Fired() == 0 {
+					t.Fatalf("delay at %s never fired", k.site)
+				}
+			})
+		}
+
+		t.Run(fmt.Sprintf("w%d/relation.eliminate/error", w), func(t *testing.T) {
+			fault.Enable("relation.eliminate", fault.Config{Mode: fault.ModeError, Once: true})
+			defer fault.Reset()
+			_, err := EliminateVar(s, a, 1, semiring.AddOf[int64](s), 12)
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("EliminateVar under error mode: %v, want ErrInjected", err)
+			}
+		})
+
+		// Fault-free runs after the sweep stay bit-identical.
+		if got := Join(s, a, b); !Equal(s, got, wantJoin) {
+			t.Fatalf("w%d: Join differs after chaos sweep", w)
+		}
+		if got := Semijoin(s, a, b); !Equal(s, got, wantSemi) {
+			t.Fatalf("w%d: Semijoin differs after chaos sweep", w)
+		}
+		if got, err := EliminateVar(s, a, 1, semiring.AddOf[int64](s), 12); err != nil || !Equal(s, got, wantElim) {
+			t.Fatalf("w%d: EliminateVar differs after chaos sweep: %v", w, err)
+		}
+		exec.SetWorkers(prev)
+	}
+}

@@ -1,9 +1,17 @@
 package relation
 
 import (
+	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/keys"
 	"repro/internal/semiring"
+)
+
+// Chaos failpoints at the join kernel entries; both kernels return
+// values with no error path, so failing modes panic (see Site.Inject).
+var (
+	joinSite     = fault.Register("relation.join")
+	semijoinSite = fault.Register("relation.semijoin")
 )
 
 // Join and Semijoin strategy selection. Relations keep their tuples
@@ -110,6 +118,7 @@ func restBefore(aSchema, bSchema []int, p int) bool {
 // (Definition 3.4 lifted to the semiring). The output schema is the
 // sorted union of the input schemas.
 func Join[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	joinSite.Inject()
 	shared := hypergraph.IntersectSorted(a.schema, b.schema)
 	if isPrefixOf(shared, a.schema) && isPrefixOf(shared, b.schema) {
 		p := len(shared)
@@ -309,6 +318,7 @@ func joinHash[T any](s semiring.Semiring[T], a, b *Relation[T], shared []int) *R
 // the star protocol (Algorithm 1); the value-combining variant used by
 // the general FAQ protocol is Join followed by Project.
 func Semijoin[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	semijoinSite.Inject()
 	shared := hypergraph.IntersectSorted(a.schema, b.schema)
 	if isPrefixOf(shared, a.schema) && isPrefixOf(shared, b.schema) {
 		p := len(shared)

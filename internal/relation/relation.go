@@ -33,9 +33,19 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/hypergraph"
 	"repro/internal/keys"
 	"repro/internal/semiring"
+)
+
+// Chaos failpoints at the kernel entry points. Build and the join
+// kernels have no error path, so their sites use Inject (failing modes
+// panic, recovered into a typed error at the service boundary);
+// EliminateVar returns an error and uses Hit.
+var (
+	buildSite     = fault.Register("relation.build")
+	eliminateSite = fault.Register("relation.eliminate")
 )
 
 // Relation is a finite map from tuples over a variable schema to non-zero
@@ -159,6 +169,7 @@ func (b *Builder[T]) AddOne(tuple ...int) { b.Add(tuple, b.s.One()) }
 // Build merges duplicate tuples with ⊕, drops zeros, sorts
 // lexicographically, and returns the immutable relation.
 func (b *Builder[T]) Build() *Relation[T] {
+	buildSite.Inject()
 	a := len(b.schema)
 	n := len(b.vals)
 	if n == 0 {
@@ -405,6 +416,9 @@ func Project[T any](s semiring.Semiring[T], r *Relation[T], vs []int) (*Relation
 // tuple per domain value — domSize values — mirroring Corollary G.2's
 // push-down over listing representations.
 func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semiring.Op[T], domSize int) (*Relation[T], error) {
+	if err := eliminateSite.Hit(nil); err != nil {
+		return nil, err
+	}
 	vcols, err := columnsOf(r.schema, []int{v})
 	if err != nil {
 		return nil, err

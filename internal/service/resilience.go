@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fault"
+)
+
+// solveSite injects faults into the per-request execute path — the
+// single choke point both Solve and SolveBatch members pass through
+// after admission, so a chaos sweep reaches it from either entry.
+var solveSite = fault.Register("service.solve")
+
+// ErrOverloaded is the load-shedding sentinel: the service's in-flight
+// gate is full, so the request was rejected before any work. Unlike
+// ErrOverBudget (a property of the request's plan — retrying unchanged
+// cannot succeed), overload is transient and the caller should retry
+// after backing off; faqd maps it to 503 + Retry-After versus 429.
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
+// OverloadError is the typed load-shed rejection.
+// errors.Is(err, ErrOverloaded) matches it.
+type OverloadError struct {
+	InFlight int // requests in flight when this one was rejected
+	Limit    int // the gate's bound
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: %d requests in flight (limit %d): %v", e.InFlight, e.Limit, ErrOverloaded)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) succeed on OverloadError values.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// ErrInternal is the panic-containment sentinel: a panic escaped a
+// kernel or pool task and was recovered at the service boundary — the
+// "typed errors, never panics" contract enforced at runtime. The
+// concrete *InternalError records the recovered value and, when the
+// panic was injected by a failpoint, the site.
+var ErrInternal = errors.New("service: internal error")
+
+// InternalError is the typed conversion of a recovered panic.
+type InternalError struct {
+	Site  string // failpoint site for injected panics, "" otherwise
+	Value any    // the recovered panic value
+}
+
+func (e *InternalError) Error() string {
+	if e.Site != "" {
+		return fmt.Sprintf("service: recovered panic injected at failpoint %q: %v", e.Site, ErrInternal)
+	}
+	return fmt.Sprintf("service: recovered panic: %v: %v", e.Value, ErrInternal)
+}
+
+// Is makes errors.Is(err, ErrInternal) succeed on InternalError values.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// asInternal converts a recovered panic value into the typed internal
+// error, unwrapping the pool's *exec.TaskPanic envelope and recording
+// the site of an injected *fault.InjectedPanic.
+func asInternal(r any) *InternalError {
+	val := r
+	if tp, ok := val.(*exec.TaskPanic); ok {
+		val = tp.Val
+	}
+	ie := &InternalError{Value: val}
+	if ip, ok := val.(*fault.InjectedPanic); ok {
+		ie.Site = ip.Site
+	}
+	return ie
+}
+
+// Gate bounds the number of requests in flight. One Gate is shared by
+// every per-semiring service of an engine, so the bound is engine-wide.
+// Acquisition never blocks: a full gate sheds immediately (typed
+// *OverloadError), keeping rejection latency flat under overload.
+type Gate struct {
+	limit int64
+	n     atomic.Int64
+}
+
+// NewGate returns a gate admitting at most limit concurrent requests
+// (limit < 1 returns nil — an absent gate admits everything).
+func NewGate(limit int) *Gate {
+	if limit < 1 {
+		return nil
+	}
+	return &Gate{limit: int64(limit)}
+}
+
+// TryAcquire claims a slot, reporting false when the gate is full.
+func (g *Gate) TryAcquire() bool {
+	if g.n.Add(1) > g.limit {
+		g.n.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns a slot claimed by a successful TryAcquire.
+func (g *Gate) Release() { g.n.Add(-1) }
+
+// InFlight returns the number of currently admitted requests.
+func (g *Gate) InFlight() int { return int(g.n.Load()) }
+
+// Limit returns the gate's bound.
+func (g *Gate) Limit() int { return int(g.limit) }
+
+// WithGate bounds in-flight admission with g (shared across services
+// for an engine-wide bound). A nil gate disables shedding.
+func WithGate(g *Gate) Option { return func(c *config) { c.gate = g } }
+
+// WithDeadline caps each request's wall time: Solve (and SolveBatch as
+// one unit) runs under a context.WithTimeout child of the caller's ctx,
+// so every node task downstream is gated by it and a slow solve returns
+// context.DeadlineExceeded instead of holding its slot forever.
+// d <= 0 disables the cap.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// shed records and types a gate rejection.
+func (sv *Service[T]) shedReject() error {
+	sv.shed.Add(1)
+	g := sv.cfg.gate
+	return &OverloadError{InFlight: g.InFlight(), Limit: g.Limit()}
+}
+
+// withDeadline applies the configured per-request deadline to ctx.
+func (sv *Service[T]) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if sv.cfg.deadline > 0 {
+		return context.WithTimeout(ctx, sv.cfg.deadline)
+	}
+	return ctx, func() {}
+}
+
+// recoverInternal is the service-boundary containment point: deferred
+// around every execution path, it converts an escaped panic into a
+// typed *InternalError and counts it. The pool already re-surfaces
+// worker panics on the calling goroutine (exec.TaskPanic), so this
+// single recover is sufficient at every worker count.
+func (sv *Service[T]) recoverInternal(err *error) {
+	if r := recover(); r != nil {
+		sv.panics.Add(1)
+		*err = asInternal(r)
+	}
+}
+
+// countErr classifies a request error into the degradation counters.
+func (sv *Service[T]) countErr(err error) {
+	sv.errors.Add(1)
+	if errors.Is(err, context.DeadlineExceeded) {
+		sv.deadlineExceeded.Add(1)
+	}
+}

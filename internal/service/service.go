@@ -68,6 +68,8 @@ type config struct {
 	pool       *exec.Pool
 	budget     int64
 	noFallback bool
+	gate       *Gate
+	deadline   time.Duration
 }
 
 // WithPool runs the service's GHD passes on a caller-owned exec pool
@@ -110,11 +112,14 @@ type Service[T any] struct {
 	cache *plan.Cache
 	cfg   config
 
-	requests  atomic.Int64
-	batches   atomic.Int64
-	fallbacks atomic.Int64
-	rejected  atomic.Int64
-	errors    atomic.Int64
+	requests         atomic.Int64
+	batches          atomic.Int64
+	fallbacks        atomic.Int64
+	rejected         atomic.Int64
+	errors           atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+	panics           atomic.Int64
 }
 
 // New returns a service over semiring s. name namespaces the cache keys
@@ -136,25 +141,38 @@ func (sv *Service[T]) Cache() *plan.Cache { return sv.cache }
 // adapters build typed queries with it).
 func (sv *Service[T]) Semiring() semiring.Semiring[T] { return sv.s }
 
-// Stats is the service-level counter snapshot.
+// Stats is the service-level counter snapshot. The degradation
+// counters (Shed, DeadlineExceeded, Panics) let operators see graceful
+// degradation directly instead of inferring it from Errors: Rejected is
+// budget admission control (429 — retrying unchanged cannot succeed),
+// Shed is transient overload (503 — retry after backoff),
+// DeadlineExceeded is requests cut off by the per-request deadline, and
+// Panics counts panics recovered into typed internal errors at the
+// service boundary.
 type Stats struct {
-	Semiring  string `json:"semiring"`
-	Requests  int64  `json:"requests"`
-	Batches   int64  `json:"batches"`
-	Fallbacks int64  `json:"fallbacks"`
-	Rejected  int64  `json:"rejected"` // admission-control rejections
-	Errors    int64  `json:"errors"`
+	Semiring         string `json:"semiring"`
+	Requests         int64  `json:"requests"`
+	Batches          int64  `json:"batches"`
+	Fallbacks        int64  `json:"fallbacks"`
+	Rejected         int64  `json:"rejected"` // admission-control rejections
+	Errors           int64  `json:"errors"`
+	Shed             int64  `json:"shed"`              // in-flight gate rejections
+	DeadlineExceeded int64  `json:"deadline_exceeded"` // per-request deadline hits
+	Panics           int64  `json:"panics"`            // panics recovered to ErrInternal
 }
 
 // Stats returns the current counters.
 func (sv *Service[T]) Stats() Stats {
 	return Stats{
-		Semiring:  sv.name,
-		Requests:  sv.requests.Load(),
-		Batches:   sv.batches.Load(),
-		Fallbacks: sv.fallbacks.Load(),
-		Rejected:  sv.rejected.Load(),
-		Errors:    sv.errors.Load(),
+		Semiring:         sv.name,
+		Requests:         sv.requests.Load(),
+		Batches:          sv.batches.Load(),
+		Fallbacks:        sv.fallbacks.Load(),
+		Rejected:         sv.rejected.Load(),
+		Errors:           sv.errors.Load(),
+		Shed:             sv.shed.Load(),
+		DeadlineExceeded: sv.deadlineExceeded.Load(),
+		Panics:           sv.panics.Load(),
 	}
 }
 
@@ -176,9 +194,12 @@ func opNames[T any](q *faq.Query[T]) map[int]string {
 	return out
 }
 
-// Solve serves one request: fingerprint, cached plan, bind, execute.
-// ctx cancels cooperatively — the GHD pass stops dispatching node tasks
-// once ctx is done (exec.Pool.ForestCtx) and ctx.Err() is returned.
+// Solve serves one request: admit (in-flight gate), fingerprint,
+// cached plan, bind, execute — under the configured per-request
+// deadline. ctx cancels cooperatively — the GHD pass stops dispatching
+// node tasks once ctx is done (exec.Pool.ForestCtx) and ctx.Err() is
+// returned. A panic escaping any layer below (kernel, pool task,
+// compile) is recovered here into a typed *InternalError.
 func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Relation[T], Info, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -187,34 +208,51 @@ func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Rel
 	sv.requests.Add(1)
 	var info Info
 	fail := func(err error) (*relation.Relation[T], Info, error) {
-		sv.errors.Add(1)
+		sv.countErr(err)
 		info.TotalNS = time.Since(t0).Nanoseconds()
 		return nil, info, err
 	}
-	if err := q.Validate(); err != nil {
+	if sv.cfg.gate != nil {
+		if !sv.cfg.gate.TryAcquire() {
+			return fail(sv.shedReject())
+		}
+		defer sv.cfg.gate.Release()
+	}
+	ctx, cancel := sv.withDeadline(ctx)
+	defer cancel()
+
+	ans, err := sv.solveAdmitted(ctx, q, &info)
+	if err != nil {
 		return fail(err)
+	}
+	info.TotalNS = time.Since(t0).Nanoseconds()
+	return ans, info, nil
+}
+
+// solveAdmitted is Solve past admission: the panic-containment boundary
+// wraps fingerprinting, the cache round-trip, and execution.
+func (sv *Service[T]) solveAdmitted(ctx context.Context, q *faq.Query[T], info *Info) (ans *relation.Relation[T], err error) {
+	defer sv.recoverInternal(&err)
+	t0 := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, err
 	}
 	fp, err := plan.Canonicalize(q.H, q.Free, opNames(q))
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	info.CanonNS = time.Since(t0).Nanoseconds()
 
 	tp := time.Now()
 	p, hit, err := sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	info.PlanNS = time.Since(tp).Nanoseconds()
 	info.PlanHash = p.Hash
 	info.CacheHit = hit
 
-	ans, err := sv.execute(ctx, q, p, fp, &info)
-	if err != nil {
-		return fail(err)
-	}
-	info.TotalNS = time.Since(t0).Nanoseconds()
-	return ans, info, nil
+	return sv.execute(ctx, q, p, fp, info)
 }
 
 // admit applies admission control and the fallback policy to a resolved
@@ -239,6 +277,9 @@ func (sv *Service[T]) admit(q *faq.Query[T], p *plan.Plan) error {
 // execute binds and runs one request against a resolved plan.
 func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan, fp *plan.Fingerprint, info *Info) (*relation.Relation[T], error) {
 	if err := sv.admit(q, p); err != nil {
+		return nil, err
+	}
+	if err := solveSite.Hit(ctx); err != nil {
 		return nil, err
 	}
 	if p.Fallback {
@@ -316,6 +357,11 @@ func (sv *Service[T]) Explain(q *faq.Query[T]) (*plan.Plan, *ghd.GHD, Info, erro
 // shape does one cache round-trip (one compile under singleflight), then
 // the requests fan out across the exec pool — per-request results and
 // errors align with the input slice, and a canceled ctx stops dispatch.
+//
+// Admission treats the batch as one unit: it claims one gate slot (a
+// full gate sheds every member with a typed *OverloadError) and runs
+// under one per-request deadline. Per-member panics are recovered into
+// typed *InternalError values in the member's error slot.
 func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*relation.Relation[T], []Info, []error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -326,6 +372,20 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 	infos := make([]Info, n)
 	errs := make([]error, n)
 	starts := make([]time.Time, n)
+
+	if sv.cfg.gate != nil {
+		if !sv.cfg.gate.TryAcquire() {
+			for i := range qs {
+				sv.requests.Add(1)
+				errs[i] = sv.shedReject()
+				sv.countErr(errs[i])
+			}
+			return answers, infos, errs
+		}
+		defer sv.cfg.gate.Release()
+	}
+	ctx, cancel := sv.withDeadline(ctx)
+	defer cancel()
 
 	// Phase 1: fingerprint everything and group by shape key. Every
 	// request keeps its own Fingerprint — members of one group are
@@ -385,7 +445,13 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 		g := order[gi]
 		tp := time.Now()
 		fp := g.fp
-		p, hit, err := sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
+		var p *plan.Plan
+		var hit bool
+		err := func() (err error) {
+			defer sv.recoverInternal(&err)
+			p, hit, err = sv.cache.Get(sv.name+"|"+fp.Key, func() (*plan.Plan, error) { return plan.Compile(fp) })
+			return err
+		}()
 		planNS := time.Since(tp).Nanoseconds()
 		g.p, g.err = p, err
 		for mi, i := range g.members {
@@ -412,13 +478,18 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 		}
 		if g.err != nil {
 			errs[i] = g.err
-			sv.errors.Add(1)
+			sv.countErr(g.err)
 			return
 		}
-		ans, err := sv.execute(ctx, qs[i], g.p, fps[i], &infos[i])
+		var ans *relation.Relation[T]
+		err := func() (err error) {
+			defer sv.recoverInternal(&err)
+			ans, err = sv.execute(ctx, qs[i], g.p, fps[i], &infos[i])
+			return err
+		}()
 		if err != nil {
 			errs[i] = err
-			sv.errors.Add(1)
+			sv.countErr(err)
 			return
 		}
 		answers[i] = ans
