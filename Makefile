@@ -26,14 +26,23 @@
 #                 HTTP (wired into CI)
 #   make examples — build and run every examples/ program (all are
 #                 clients of the public faqs façade; wired into CI)
-#   make vet-imports — fail if cmd/ or examples/ import internal/
-#                 packages directly instead of going through the public
-#                 faqs façade (allowlist below; part of `make check`)
+#   make lint   — faqlint, the repo's static-analysis suite
+#                 (internal/lint): six analyzers compiling the standing
+#                 contracts — facade, nopanic, mapiter, ctxflow,
+#                 hotpath, failpoint — into build failures; zero
+#                 unsuppressed findings required (part of `make check`)
+#   make vet-imports — alias for the facade analyzer alone (the former
+#                 shell-grep target; the faqbench/faqload/ghdtool
+#                 allowlist now lives in internal/lint/facade.go)
 #   make chaos  — failpoint sweep under the race detector at 1/2/8
 #                 workers: every registered fault-injection site fired
 #                 in every mode must yield a typed error or a
 #                 bit-identical answer, never a hang or panic escape
-#                 (part of `make check`)
+#                 (part of `make check`). Chaos tests follow the
+#                 TestChaos* naming convention — enforced by the
+#                 failpoint analyzer, so an arming test that drops the
+#                 prefix (and would silently leave the sweep) is a lint
+#                 failure, not a quiet coverage loss.
 
 GO        ?= go
 BENCHTIME ?= 0.5s
@@ -43,18 +52,17 @@ SMOKEADDR ?= 127.0.0.1:18080
 # The packages holding the parallel≡sequential equivalence suites.
 WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./faqs/
 
-# Packages that must reach internal functionality only via the public
-# faqs façade. The bench/diagnostic harnesses stay off the list by
-# design: faqbench regenerates the paper tables from the internals,
-# faqload verifies served answers against the internal reference
-# solvers, and ghdtool dumps GYO traces no public API exposes.
-FACADE_ONLY = ./cmd/faqd ./cmd/faqrun ./examples/...
+.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
 
-.PHONY: build test vet vet-imports race check chaos bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
-
-# The packages holding chaos (failpoint-sweep) suites: the serving path,
-# the kernels, the netsim ledger, and the daemon's HTTP boundary.
-CHAOS_PKGS = ./internal/service/ ./internal/relation/ ./internal/protocol/ ./internal/fault/ ./cmd/faqd/
+# The packages holding chaos (failpoint-sweep) TestChaos* suites: the
+# serving path, the kernels, the exec pool, the netsim ledger, the
+# public façade, and the daemon's HTTP boundary. This list must mirror
+# the failpoint analyzer's ChaosPackages (internal/lint/failpoint.go):
+# the analyzer flags arming tests in packages outside it, so the two
+# cannot drift silently. The fault registry's own unit suite runs in
+# tier-1/`make race` — its arming calls are exercises of the registry,
+# not chaos sweeps (analyzer Exempt entry).
+CHAOS_PKGS = ./internal/service/ ./internal/relation/ ./internal/protocol/ ./internal/exec/ ./faqs/ ./cmd/faqd/
 
 build:
 	$(GO) build ./...
@@ -65,24 +73,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/faqlint ./...
+
+# Alias for the retired shell-grep target: same contract, now enforced
+# by the facade analyzer (allowlist in internal/lint/facade.go).
 vet-imports:
-	@viol=$$($(GO) list -f '{{$$p := .ImportPath}}{{range .Imports}}{{$$p}} imports {{.}}{{"\n"}}{{end}}' $(FACADE_ONLY) | grep 'repro/internal/' || true); \
-	if [ -n "$$viol" ]; then \
-		echo "$$viol"; \
-		echo "error: cmd/ and examples/ programs must use the public faqs façade, not internal/ packages"; \
-		exit 1; \
-	fi
-	@echo "vet-imports: cmd/ and examples/ use only the faqs façade"
+	$(GO) run ./cmd/faqlint -only facade ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build vet vet-imports test chaos
+check: build vet lint test chaos
 
 chaos:
-	FAQ_WORKERS=1 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
-	FAQ_WORKERS=2 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
-	FAQ_WORKERS=8 $(GO) test -race -count=1 -run 'Chaos|Fail|Fault|Resilience|Overload|Deadline|Panic|Healthz|Stats' $(CHAOS_PKGS)
+	FAQ_WORKERS=1 $(GO) test -race -count=1 -run '^TestChaos' $(CHAOS_PKGS)
+	FAQ_WORKERS=2 $(GO) test -race -count=1 -run '^TestChaos' $(CHAOS_PKGS)
+	FAQ_WORKERS=8 $(GO) test -race -count=1 -run '^TestChaos' $(CHAOS_PKGS)
 
 examples:
 	$(GO) build ./examples/...

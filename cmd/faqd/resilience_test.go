@@ -12,10 +12,10 @@ import (
 	"repro/faqs"
 )
 
-// TestHealthzDraining pins the readiness contract: a serving daemon
+// TestChaosHealthzDraining pins the readiness contract: a serving daemon
 // answers 200, a draining one 503 with Retry-After so load balancers
 // stop routing to it.
-func TestHealthzDraining(t *testing.T) {
+func TestChaosHealthzDraining(t *testing.T) {
 	s := newServer()
 	mux := s.mux()
 
@@ -39,10 +39,10 @@ func TestHealthzDraining(t *testing.T) {
 	}
 }
 
-// TestSolveOverloadStatus pins the 503 + Retry-After shedding contract:
+// TestChaosOverloadStatus pins the 503 + Retry-After shedding contract:
 // with a single in-flight slot held by a slow request, a concurrent
 // solve is shed — distinguishable from 429 budget rejections.
-func TestSolveOverloadStatus(t *testing.T) {
+func TestChaosOverloadStatus(t *testing.T) {
 	defer faqs.DisableFailpoints()
 	mux := newServer(faqs.WithMaxInFlight(1)).mux()
 
@@ -79,9 +79,9 @@ func TestSolveOverloadStatus(t *testing.T) {
 	}
 }
 
-// TestSolveDeadlineStatus pins deadline mapping: a solve cut off by the
+// TestChaosDeadlineStatus pins deadline mapping: a solve cut off by the
 // per-request deadline is a transient 503 with Retry-After.
-func TestSolveDeadlineStatus(t *testing.T) {
+func TestChaosDeadlineStatus(t *testing.T) {
 	defer faqs.DisableFailpoints()
 	mux := newServer(faqs.WithDeadline(20 * time.Millisecond)).mux()
 	if err := faqs.EnableFailpoints("service.solve=delay:10s"); err != nil {
@@ -96,10 +96,10 @@ func TestSolveDeadlineStatus(t *testing.T) {
 	}
 }
 
-// TestSolvePanicStatus pins panic containment end to end: an injected
+// TestChaosPanicStatus pins panic containment end to end: an injected
 // kernel panic comes back as a 500 with a JSON error body naming the
 // site — the process survives and keeps serving.
-func TestSolvePanicStatus(t *testing.T) {
+func TestChaosPanicStatus(t *testing.T) {
 	defer faqs.DisableFailpoints()
 	mux := newServer().mux()
 	if err := faqs.EnableFailpoints("relation.join=panic@once"); err != nil {
@@ -118,9 +118,9 @@ func TestSolvePanicStatus(t *testing.T) {
 	}
 }
 
-// TestFaqdFailpointStatus pins the daemon's own chaos site: an injected
+// TestChaosFailpointStatus pins the daemon's own chaos site: an injected
 // handler error maps to 500, and the site is sweepable by name.
-func TestFaqdFailpointStatus(t *testing.T) {
+func TestChaosFailpointStatus(t *testing.T) {
 	defer faqs.DisableFailpoints()
 	mux := newServer().mux()
 	if err := faqs.EnableFailpoints("faqd.solve=error@once"); err != nil {
@@ -136,10 +136,10 @@ func TestFaqdFailpointStatus(t *testing.T) {
 	}
 }
 
-// TestStatsDegradationCounters pins the /stats satellite: shed,
+// TestChaosStatsDegradationCounters pins the /stats satellite: shed,
 // deadline-exceeded, and recovered-panic counts surface per semiring
 // service, plus the draining flag.
-func TestStatsDegradationCounters(t *testing.T) {
+func TestChaosStatsDegradationCounters(t *testing.T) {
 	defer faqs.DisableFailpoints()
 	s := newServer(faqs.WithDeadline(20 * time.Millisecond))
 	mux := s.mux()

@@ -15,10 +15,10 @@ func resilienceQuery(t *testing.T, seed int64) *Query {
 	return buildTemplate(t, Count, tpl.spec, tpl.free, nil, seed, 200, 24)
 }
 
-// TestEngineDeadline pins faqs.WithDeadline: a solve that cannot finish
+// TestChaosEngineDeadline pins faqs.WithDeadline: a solve that cannot finish
 // inside the deadline returns context.DeadlineExceeded (typed, prompt)
 // and the engine counts it; a generous deadline changes nothing.
-func TestEngineDeadline(t *testing.T) {
+func TestChaosEngineDeadline(t *testing.T) {
 	defer DisableFailpoints()
 	q := resilienceQuery(t, 11)
 
@@ -53,11 +53,11 @@ func TestEngineDeadline(t *testing.T) {
 	}
 }
 
-// TestEngineMaxInFlight pins faqs.WithMaxInFlight: with the single slot
+// TestChaosEngineMaxInFlight pins faqs.WithMaxInFlight: with the single slot
 // held by a deliberately slow request, concurrent solves shed with a
 // typed ErrOverloaded and the shed counter moves; the engine serves
 // normally once the slot frees.
-func TestEngineMaxInFlight(t *testing.T) {
+func TestChaosEngineMaxInFlight(t *testing.T) {
 	defer DisableFailpoints()
 	q := resilienceQuery(t, 12)
 	e := NewEngine(WithMaxInFlight(1))
@@ -107,11 +107,11 @@ func TestEngineMaxInFlight(t *testing.T) {
 	}
 }
 
-// TestEnginePanicContainment pins the runtime "typed errors, never
+// TestChaosEnginePanicContainment pins the runtime "typed errors, never
 // panics" contract at the façade: an injected kernel panic surfaces as
 // ErrInternal (never crossing Solve as a panic), the panic counter
 // moves, and the engine keeps serving.
-func TestEnginePanicContainment(t *testing.T) {
+func TestChaosEnginePanicContainment(t *testing.T) {
 	defer DisableFailpoints()
 	q := resilienceQuery(t, 13)
 	e := NewEngine()
@@ -143,8 +143,8 @@ func TestEnginePanicContainment(t *testing.T) {
 	}
 }
 
-// TestFailpointSpecErrors pins the façade's spec validation.
-func TestFailpointSpecErrors(t *testing.T) {
+// TestChaosFailpointSpecErrors pins the façade's spec validation.
+func TestChaosFailpointSpecErrors(t *testing.T) {
 	defer DisableFailpoints()
 	if err := EnableFailpoints("service.solve=flood"); err == nil {
 		t.Fatal("malformed mode accepted")

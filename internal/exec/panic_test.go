@@ -105,9 +105,9 @@ func TestPanicContainment(t *testing.T) {
 	}
 }
 
-// TestForestFailpoint pins the exec.task site: error mode fails the pass
+// TestChaosForestFailpoint pins the exec.task site: error mode fails the pass
 // with a typed injected error; panic mode is contained as a TaskPanic.
-func TestForestFailpoint(t *testing.T) {
+func TestChaosForestFailpoint(t *testing.T) {
 	defer fault.Reset()
 	parent := []int{-1, 0, 0}
 	for _, w := range []int{1, 2, 8} {

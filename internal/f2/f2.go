@@ -19,6 +19,7 @@ type Vector struct {
 // NewVector returns the zero vector of length n.
 func NewVector(n int) *Vector {
 	if n < 0 {
+		//faqlint:allow nopanic(programmer-error precondition: vector lengths are statically shaped by callers)
 		panic(fmt.Sprintf("f2: negative vector length %d", n))
 	}
 	return &Vector{n: n, w: make([]uint64, (n+63)/64)}
@@ -44,6 +45,7 @@ func (v *Vector) Set(i int, b byte) {
 // Xor returns v ⊕ u (vector addition over F₂).
 func (v *Vector) Xor(u *Vector) *Vector {
 	if v.n != u.n {
+		//faqlint:allow nopanic(invariant check: operand lengths match by construction)
 		panic("f2: length mismatch")
 	}
 	out := NewVector(v.n)
@@ -56,6 +58,7 @@ func (v *Vector) Xor(u *Vector) *Vector {
 // Dot returns the inner product ⟨v, u⟩ over F₂.
 func (v *Vector) Dot(u *Vector) byte {
 	if v.n != u.n {
+		//faqlint:allow nopanic(invariant check: operand lengths match by construction)
 		panic("f2: length mismatch")
 	}
 	var acc uint64
@@ -99,6 +102,7 @@ func (v *Vector) IsZero() bool {
 // key by the entropy experiments.
 func (v *Vector) Uint() uint64 {
 	if v.n > 64 {
+		//faqlint:allow nopanic(programmer-error precondition: Uint is documented for n <= 64 only)
 		panic("f2: Uint requires n ≤ 64")
 	}
 	if len(v.w) == 0 {
@@ -140,6 +144,7 @@ type Matrix struct {
 // NewMatrix returns the zero rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//faqlint:allow nopanic(programmer-error precondition: dimensions are statically shaped by callers)
 		panic("f2: negative dimension")
 	}
 	m := &Matrix{rows: rows, cols: cols, r: make([]*Vector, rows)}
@@ -167,6 +172,7 @@ func (m *Matrix) Row(i int) *Vector { return m.r[i] }
 // MulVec returns m·x over F₂.
 func (m *Matrix) MulVec(x *Vector) *Vector {
 	if x.Len() != m.cols {
+		//faqlint:allow nopanic(invariant check: matrix dimensions match by construction)
 		panic("f2: dimension mismatch")
 	}
 	out := NewVector(m.rows)
@@ -179,6 +185,7 @@ func (m *Matrix) MulVec(x *Vector) *Vector {
 // Mul returns m·b over F₂.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {
+		//faqlint:allow nopanic(invariant check: matrix dimensions match by construction)
 		panic("f2: dimension mismatch")
 	}
 	out := NewMatrix(m.rows, b.cols)

@@ -27,6 +27,7 @@ type Hypergraph struct {
 // New returns an empty multi-hypergraph on n vertices.
 func New(n int) *Hypergraph {
 	if n < 0 {
+		//faqlint:allow nopanic(programmer-error precondition: vertex counts come from validated queries)
 		panic(fmt.Sprintf("hypergraph: negative vertex count %d", n))
 	}
 	return &Hypergraph{n: n}
@@ -37,6 +38,7 @@ func New(n int) *Hypergraph {
 // least one vertex; out-of-range vertices are programmer errors and panic.
 func (h *Hypergraph) AddEdge(vertices ...int) int {
 	if len(vertices) == 0 {
+		//faqlint:allow nopanic(programmer-error precondition: empty hyperedges are a construction bug)
 		panic("hypergraph: empty hyperedge")
 	}
 	vs := append([]int(nil), vertices...)
@@ -45,6 +47,7 @@ func (h *Hypergraph) AddEdge(vertices ...int) int {
 	prev := -1
 	for _, v := range vs {
 		if v < 0 || v >= h.n {
+			//faqlint:allow nopanic(programmer-error precondition: vertex range is fixed at construction)
 			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, h.n))
 		}
 		if v != prev {

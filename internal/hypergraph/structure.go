@@ -11,6 +11,7 @@ import (
 // gate on IsSimpleGraph).
 func SimpleAdjacency(h *Hypergraph) [][]int {
 	if !h.IsSimpleGraph() {
+		//faqlint:allow nopanic(programmer-error precondition: SimpleAdjacency is documented for arity <= 2)
 		panic("hypergraph: SimpleAdjacency requires arity ≤ 2")
 	}
 	seen := make(map[[2]int]bool)

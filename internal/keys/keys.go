@@ -56,6 +56,7 @@ func PackCols(t []int32, cols []int) uint64 {
 		case 2:
 			return Pack2(t[0], t[1])
 		}
+		//faqlint:allow nopanic(programmer-error precondition: callers gate on MaxPacked before packing)
 		panic("keys: PackCols on more than MaxPacked columns")
 	}
 	switch len(cols) {
@@ -66,6 +67,7 @@ func PackCols(t []int32, cols []int) uint64 {
 	case 2:
 		return Pack2(t[cols[0]], t[cols[1]])
 	}
+	//faqlint:allow nopanic(programmer-error precondition: callers gate on MaxPacked before packing)
 	panic("keys: PackCols on more than MaxPacked columns")
 }
 
@@ -123,6 +125,7 @@ func Chunk(k uint64, ncols, n int) int {
 		binary.BigEndian.PutUint32(buf[:4], uint32(x))
 		binary.BigEndian.PutUint32(buf[4:], uint32(y))
 	default:
+		//faqlint:allow nopanic(programmer-error precondition: callers gate on MaxPacked before chunking)
 		panic("keys: Chunk on more than MaxPacked columns")
 	}
 	h := fnv.New32a()

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlowConfig scopes the cancellation-propagation contract to the
+// serving path.
+type CtxFlowConfig struct {
+	Packages []string
+}
+
+// DefaultCtxFlowConfig covers the layers PR 6's cancellation tests
+// pin: the query service, the exec pool, the public façade, and the
+// daemon.
+func DefaultCtxFlowConfig() CtxFlowConfig {
+	return CtxFlowConfig{Packages: []string{
+		"repro/internal/service",
+		"repro/internal/exec",
+		"repro/faqs",
+		"repro/cmd/faqd",
+	}}
+}
+
+// NewCtxFlow builds the ctxflow analyzer. Rules on the serving path,
+// all protecting per-request cancellation:
+//
+//  1. context.Background()/context.TODO() is forbidden outside func
+//     main and the sanctioned nil-ctx boundary guard `if ctx == nil {
+//     ctx = context.Background() }` — a fresh root context mid-path
+//     detaches downstream work from the request, so a client cancel
+//     or deadline never reaches it. Inside a ctx-taking function this
+//     is a failure to thread the parameter.
+//  2. a ctx-capable callee (first parameter context.Context) may not
+//     be passed a nil context from inside a ctx-taking function: the
+//     caller holds a real request context and must thread it.
+func NewCtxFlow(cfg CtxFlowConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "serving-path functions must thread the request context; no fresh Background/TODO or nil ctx mid-path",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchPackage(cfg.Packages, pass.Pkg.ImportPath) {
+			return nil
+		}
+		for i, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(i) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkCtxFlow(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	isMain := pass.Pkg.Name == "main" && fd.Name.Name == "main" && fd.Recv == nil
+	ctxParams := contextParams(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isContextRoot(pass, call) {
+			if isMain || insideNilCtxGuard(pass, fd, call.Pos(), ctxParams) {
+				return true
+			}
+			if len(ctxParams) > 0 {
+				pass.Reportf(call.Pos(),
+					"fresh root context inside a ctx-taking function detaches the work from the request: thread the ctx parameter (or derive via context.With*)")
+			} else {
+				pass.Reportf(call.Pos(),
+					"context.Background/TODO on the serving path: accept a context.Context and thread the caller's")
+			}
+			return true
+		}
+		if len(ctxParams) > 0 && isNilIdent(ctxArgOf(pass, call)) {
+			pass.Reportf(call.Pos(),
+				"nil context passed to a ctx-capable callee from a ctx-taking function: thread the ctx parameter")
+		}
+		return true
+	})
+}
+
+// contextParams returns the objects of the function's context.Context
+// parameters.
+func contextParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.Pkg.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// ctxArgOf returns the argument passed in context position when the
+// call's callee takes a context.Context first parameter, else nil.
+func ctxArgOf(pass *Pass, call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	sig, ok := pass.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+		return nil
+	}
+	return call.Args[0]
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isContextRoot matches context.Background() and context.TODO().
+func isContextRoot(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass, call, "context", "Background") || isPkgFunc(pass, call, "context", "TODO")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// insideNilCtxGuard recognizes the sanctioned boundary default
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// on a ctx parameter: the public entry points accept nil and root it.
+func insideNilCtxGuard(pass *Pass, fd *ast.FuncDecl, pos token.Pos, ctxParams map[types.Object]bool) bool {
+	guard := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if guard {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || pos < ifs.Pos() || ifs.End() < pos {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		x, y := bin.X, bin.Y
+		if isNilIdent(x) {
+			x, y = y, x
+		}
+		if !isNilIdent(y) {
+			return true
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil && ctxParams[obj] {
+				guard = true
+			}
+		}
+		return true
+	})
+	return guard
+}

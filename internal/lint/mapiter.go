@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIterConfig scopes the map-iteration determinism contract to the
+// packages whose outputs must be bit-identical run to run.
+type MapIterConfig struct {
+	Packages []string
+	// SortFuncs lists "pkgpath.Func" entries recognized as sorting the
+	// collected key slice, in addition to the standard sort/slices
+	// entry points.
+	SortFuncs []string
+}
+
+// DefaultMapIterConfig covers the determinism-critical layers: the
+// distributed protocol and its network ledger (byte-identical
+// Reports), plan canonicalization (stable fingerprints), and exec
+// scheduling (reproducible task order).
+func DefaultMapIterConfig() MapIterConfig {
+	return MapIterConfig{
+		Packages: []string{
+			"repro/internal/protocol",
+			"repro/internal/netsim",
+			"repro/internal/plan",
+			"repro/internal/exec",
+		},
+		SortFuncs: []string{"repro/internal/topology.SortedUnique"},
+	}
+}
+
+// NewMapIter builds the mapiter analyzer: `range` over a map in a
+// determinism-critical package is flagged unless the iteration is
+// provably order-insensitive — no iteration variables bound at all, or
+// the canonical collect-then-sort idiom (the body only appends the
+// keys to a slice that is subsequently sorted in the same function) —
+// or the site carries a //faqlint:allow mapiter(reason) pragma.
+func NewMapIter(cfg MapIterConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "no raw map iteration in determinism-critical packages: sort the keys or annotate why order cannot matter",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchPackage(cfg.Packages, pass.Pkg.ImportPath) {
+			return nil
+		}
+		for i, f := range pass.Pkg.Files {
+			if pass.Pkg.IsTestFile(i) {
+				continue
+			}
+			file := f
+			ast.Inspect(file, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Pkg.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if blankRange(rng) || collectThenSort(pass, file, rng, cfg.SortFuncs) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration order is nondeterministic: sort the keys first (collect-then-sort) or annotate with //faqlint:allow mapiter(reason)")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// blankRange reports whether the range binds no iteration variables
+// (`for range m`): pure counting, order-free by construction.
+func blankRange(rng *ast.RangeStmt) bool {
+	isBlank := func(e ast.Expr) bool {
+		if e == nil {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	return isBlank(rng.Key) && isBlank(rng.Value)
+}
+
+// collectThenSort recognizes the canonical deterministic idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Xxx(keys) / slices.Sort(keys)
+//
+// The loop body must consist solely of appends into one slice
+// variable, and that variable must flow into a sort call later in the
+// same enclosing function (directly, or inside the sort argument, as
+// in `K = topology.SortedUnique(append(K, extra))`).
+func collectThenSort(pass *Pass, f *ast.File, rng *ast.RangeStmt, sortFuncs []string) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	} else if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != target.Name {
+		return false
+	}
+	fd := funcFor(f, rng.Pos())
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	targetObj := pass.Pkg.Info.Uses[target]
+	if targetObj == nil {
+		targetObj = pass.Pkg.Info.Defs[target]
+	}
+	if targetObj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= rng.End() || len(c.Args) == 0 {
+			return true
+		}
+		if !isSortCall(pass, c, sortFuncs) {
+			return true
+		}
+		if mentionsObject(pass, c.Args[0], targetObj) {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// mentionsObject reports whether the expression references the object.
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall matches the standard sorted-order entry points plus the
+// configured repo-specific ones.
+func isSortCall(pass *Pass, call *ast.CallExpr, sortFuncs []string) bool {
+	for _, fn := range []string{"Strings", "Ints", "Float64s", "Sort", "Slice", "SliceStable", "Stable"} {
+		if isPkgFunc(pass, call, "sort", fn) {
+			return true
+		}
+	}
+	for _, fn := range []string{"Sort", "SortFunc", "SortStableFunc"} {
+		if isPkgFunc(pass, call, "slices", fn) {
+			return true
+		}
+	}
+	for _, qualified := range sortFuncs {
+		if i := strings.LastIndexByte(qualified, '.'); i > 0 {
+			if isPkgFunc(pass, call, qualified[:i], qualified[i+1:]) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+// Seeded func-main trap, loaded as repro/cmd/faqd: main is the process
+// root and legitimately owns context.Background(); every other
+// function on the serving path is held to the threading rule.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func helper() error {
+	return run(context.Background()) // want `context\.Background/TODO on the serving path`
+}
+
+var _ = helper

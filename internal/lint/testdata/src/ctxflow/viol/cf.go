@@ -1,0 +1,40 @@
+// Seeded ctxflow violations and boundary-guard traps, loaded as
+// repro/internal/service (a serving-path package).
+package ctxflowfix
+
+import "context"
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+// freshRoot holds a request context but roots a new one: the
+// cancellation-detachment violation.
+func freshRoot(ctx context.Context) error {
+	return callee(context.Background()) // want `fresh root context inside a ctx-taking function`
+}
+
+// todoNoCtx has no ctx parameter to thread — the fix is to accept one.
+func todoNoCtx() error {
+	return callee(context.TODO()) // want `context\.Background/TODO on the serving path`
+}
+
+// nilCtx drops the request context on the floor mid-path.
+func nilCtx(ctx context.Context) error {
+	return callee(nil) // want `nil context passed to a ctx-capable callee`
+}
+
+// guarded is the sanctioned nil-ctx boundary default: must not flag.
+func guarded(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return callee(ctx)
+}
+
+// threaded derives from the request context: must not flag.
+func threaded(ctx context.Context) error {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(ctx2)
+}
+
+var _ = []any{freshRoot, todoNoCtx, nilCtx, guarded, threaded}

@@ -1,0 +1,10 @@
+// Seeded facade violations: a cmd/ program with no allowlist entry —
+// every module import is a finding, façade or not.
+package main
+
+import (
+	_ "repro/faqs"          // want `no façade allowlist entry`
+	_ "repro/internal/keys" // want `no façade allowlist entry`
+)
+
+func main() {}

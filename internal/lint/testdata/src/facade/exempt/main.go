@@ -1,0 +1,8 @@
+// Seeded exempt-harness trap: loaded as repro/cmd/faqbench, which the
+// config exempts by design (it regenerates the paper tables from the
+// internals). Nothing here may flag.
+package main
+
+import _ "repro/internal/relation"
+
+func main() {}

@@ -1,0 +1,11 @@
+// Seeded allowlisted-package fixture: loaded as repro/cmd/faqd, whose
+// entry permits only the public faqs façade. The façade import is the
+// near-miss trap (must not flag); the internal import is the violation.
+package main
+
+import (
+	_ "repro/faqs"
+	_ "repro/internal/plan" // want `bypasses the faqs façade`
+)
+
+func main() {}

@@ -1,0 +1,12 @@
+package main
+
+// Test files may reach internals (the contract mirrors what a built
+// binary links, i.e. `go list -f .Imports`): must not flag.
+
+import (
+	"testing"
+
+	_ "repro/internal/keys"
+)
+
+func TestFixtureOnly(t *testing.T) {}

@@ -1,0 +1,5 @@
+// Seeded scope trap: the facade contract covers cmd/ and examples/
+// only — an internal package importing internals must not flag.
+package notacmd
+
+import _ "repro/internal/keys"

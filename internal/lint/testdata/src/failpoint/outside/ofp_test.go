@@ -1,0 +1,15 @@
+// Seeded sweep-membership violation, loaded as repro/internal/outsidefp
+// — a package NOT in the chaos sweep's package list. Its correctly
+// named TestChaos* test would never be run by `make chaos`.
+package outsidefp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestChaosLocal(t *testing.T) { // want `arms failpoints in tests but is not in the chaos sweep`
+	defer fault.Reset()
+	fault.Enable("outsidefp.x", fault.Config{Mode: fault.ModeError})
+}

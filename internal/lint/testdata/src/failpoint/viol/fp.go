@@ -1,0 +1,17 @@
+// Seeded failpoint grammar, literal, and coverage violations, loaded
+// as repro/internal/fixturefp (configured into the chaos sweep).
+package fixturefp
+
+import "repro/internal/fault"
+
+var dynamicName = "fixturefp.dynamic"
+
+var (
+	siteDynamic = fault.Register(dynamicName)        // want `string-literal site name`
+	siteBad     = fault.Register("BadGrammar")       // want `does not match the <pkg>\.<site> grammar`
+	siteWrong   = fault.Register("other.site")       // want `segment must be "fixturefp"`
+	siteGood    = fault.Register("fixturefp.good")   // covered by the chaos suite: must not flag
+	siteOrphan  = fault.Register("fixturefp.orphan") // want `not referenced by any TestChaos`
+)
+
+var _ = []any{siteDynamic, siteBad, siteWrong, siteGood, siteOrphan}

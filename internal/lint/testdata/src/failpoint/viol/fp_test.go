@@ -1,0 +1,40 @@
+package fixturefp
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// chaosSites is the sweep's coverage list: every registered site must
+// appear among a TestChaos* file's string literals. BadGrammar and
+// other.site are listed so only their grammar findings fire, not a
+// second coverage finding.
+var chaosSites = []string{"fixturefp.good", "other.site", "BadGrammar"}
+
+// TestChaosFixtureSweep arms sites directly and is named to the
+// TestChaos* convention: must not flag.
+func TestChaosFixtureSweep(t *testing.T) {
+	defer fault.Reset()
+	for _, site := range chaosSites {
+		fault.Enable(site, fault.Config{Mode: fault.ModeError})
+	}
+}
+
+// armHelper arms through a package-local helper: the fixed-point walk
+// must classify its callers as arming tests.
+func armHelper() {
+	fault.Enable("fixturefp.good", fault.Config{Mode: fault.ModeError})
+}
+
+func TestArmsViaHelper(t *testing.T) { // want `arms failpoints but is not named TestChaos`
+	defer fault.Reset()
+	armHelper()
+}
+
+// TestNoArming never arms a failpoint: naming is unconstrained.
+func TestNoArming(t *testing.T) {
+	if len(chaosSites) == 0 {
+		t.Fatal("fixture list empty")
+	}
+}

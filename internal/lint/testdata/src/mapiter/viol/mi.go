@@ -1,0 +1,97 @@
+// Seeded mapiter violations and deterministic-idiom traps, loaded as
+// repro/internal/protocol (a determinism-critical package) with
+// sortedUnique configured as a repo-specific sort entry point.
+package mapiterfix
+
+import (
+	"slices"
+	"sort"
+)
+
+// raw iterates a map and consumes values in iteration order: the
+// canonical violation.
+func raw(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// collectThenSort is the canonical deterministic idiom: must not flag.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSlicesSort uses the slices package variant: must not flag.
+func collectThenSlicesSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectNeverSorted looks like the idiom but the keys are returned in
+// map order: the trap the sort check exists for.
+func collectNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// blankCount binds no iteration variables: order-free by construction.
+func blankCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// annotated carries the escape-hatch pragma with a reason.
+func annotated(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	//faqlint:allow mapiter(fixture: order-free copy, every write keyed by k)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRange is not a map: must not flag.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// sortedUnique is the configured repo-specific sort entry point.
+func sortedUnique(xs []string) []string {
+	sort.Strings(xs)
+	return xs
+}
+
+// collectThenCustomSort sorts through the configured SortFuncs entry:
+// must not flag.
+func collectThenCustomSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = sortedUnique(keys)
+	return keys
+}
+
+var _ = []any{raw, collectThenSort, collectThenSlicesSort, collectNeverSorted,
+	blankCount, annotated, sliceRange, collectThenCustomSort}

@@ -1,0 +1,54 @@
+// Seeded nopanic violations and near-miss traps, loaded as
+// repro/internal/nopanicfix with a Contain entry for `contained`.
+package nopanicfix
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// naked is the canonical violation: a bare panic in an internal package.
+func naked() {
+	panic("boom") // want `panic in repro/internal/nopanicfix`
+}
+
+func fatal() {
+	log.Fatalf("dead: %v", errors.New("x")) // want `log\.Fatalf`
+}
+
+func exit() {
+	os.Exit(1) // want `os\.Exit`
+}
+
+// MustParse is the sanctioned Must idiom (exported, free function,
+// panic-on-error for statically-known inputs): must not flag.
+func MustParse() {
+	panic("must")
+}
+
+type thing struct{}
+
+// MustDo has a receiver: the Must idiom covers free functions only.
+func (thing) MustDo() {
+	panic("method") // want `panic in repro/internal/nopanicfix`
+}
+
+// contained is whitelisted via the fixture's Contain config entry.
+func contained() {
+	panic("containment site")
+}
+
+// annotated carries the escape-hatch pragma with a reason.
+func annotated() {
+	//faqlint:allow nopanic(fixture: invariant check annotated on purpose)
+	panic("annotated")
+}
+
+// shadowed calls a local function named panic — not the builtin.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+var _ = []any{naked, fatal, exit, MustParse, contained, annotated, shadowed}

@@ -1,0 +1,17 @@
+// Seeded pragma-grammar findings: the escape hatch itself is linted,
+// so a suppression can never silently rot.
+package pragmafix
+
+//faqlint:allow mapiter -- want `malformed pragma`
+var a int
+
+//faqlint:allow bogus(some reason) -- want `unknown analyzer`
+var b int
+
+//faqlint:allow nopanic() -- want `requires a reason`
+var c int
+
+//faqlint:allow hotpath(stale: this suppresses nothing) -- want `unused pragma`
+var d int
+
+var _ = []int{a, b, c, d}

@@ -249,6 +249,7 @@ func (c *canonizer) refine(colors map[int]int) {
 		}
 		next := rankBySignature(c.active, sig)
 		nc := countClasses(next)
+		//faqlint:allow mapiter(order-free copy: each vertex's color is written independently, keyed by v)
 		for v, col := range next {
 			colors[v] = col
 		}
@@ -387,6 +388,7 @@ func rankBySignature(active []int, sig map[int]string) map[int]int {
 
 func countClasses(colors map[int]int) int {
 	seen := make(map[int]bool, len(colors))
+	//faqlint:allow mapiter(order-free accumulation into a set; only the cardinality is used)
 	for _, c := range colors {
 		seen[c] = true
 	}
@@ -395,6 +397,7 @@ func countClasses(colors map[int]int) int {
 
 func cloneColors(colors map[int]int) map[int]int {
 	out := make(map[int]int, len(colors))
+	//faqlint:allow mapiter(order-free map copy: writes keyed by k)
 	for k, v := range colors {
 		out[k] = v
 	}

@@ -36,13 +36,13 @@ func chaosSetup(seed int64) *Setup[int64] {
 	return &Setup[int64]{Q: q, G: topology.Line(3), Assign: Assignment{0, 1, 2}, Output: 2}
 }
 
-// TestNetsimChaos sweeps the message-ledger failpoints under the full
+// TestChaosNetsim sweeps the message-ledger failpoints under the full
 // distributed protocol at 1/2/8 workers: an injected drop surfaces as a
 // typed message-lost error (never a hang or a wrong answer); injected
 // duplication and delay are absorbed — the answer stays bit-identical
 // to the fault-free run while only the Report's cost accounting grows
 // (bits for duplicates, rounds for delays).
-func TestNetsimChaos(t *testing.T) {
+func TestChaosNetsim(t *testing.T) {
 	defer fault.Reset()
 	fault.Reset()
 

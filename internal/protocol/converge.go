@@ -40,6 +40,7 @@ func newKeyedStream[K cmp.Ordered, T any]() *keyedStream[K, T] {
 
 func (s *keyedStream[K, T]) add(k K, v T, ready int) {
 	if _, dup := s.m[k]; dup {
+		//faqlint:allow nopanic(invariant check: converge streams are built key-unique by construction)
 		panic("protocol: duplicate key in stream")
 	}
 	s.keys = append(s.keys, k)
@@ -93,6 +94,7 @@ func (c *convergeSpec[K, T]) run() (*keyedStream[K, T], error) {
 	if count != len(c.tree.Edges)+1 {
 		return nil, fmt.Errorf("protocol: converge edge set is not a tree rooted at %d", c.tree.Root)
 	}
+	//faqlint:allow mapiter(per-key in-place sort of the child lists; key visit order immaterial)
 	for u := range children {
 		slices.Sort(children[u])
 	}

@@ -402,11 +402,13 @@ func convergeOverPackingStaggered[K cmp.Ordered, T any](r *runner[T], playerMaps
 	// Partition each player's keys across the packed trees once (a map
 	// per chunk per player), instead of re-hashing every key per tree.
 	parts := make(map[int][]map[K]T, len(playerMaps))
+	//faqlint:allow mapiter(order-free partition: every write is keyed by the player u)
 	for u, full := range playerMaps {
 		ps := make([]map[K]T, len(packing))
 		for i := range ps {
 			ps[i] = make(map[K]T)
 		}
+		//faqlint:allow mapiter(order-free distribution: every write is keyed by the tuple key k)
 		for k, val := range full {
 			ps[cod.chunk(k, len(packing))][k] = val
 		}
@@ -592,6 +594,7 @@ func relationToMap[K cmp.Ordered, T any](m *relation.Relation[T], cod keyCodec[K
 // the local fold when one player owns several star leaves.
 func intersectMaps[K cmp.Ordered, T any](q *faq.Query[T], a, b map[K]T) map[K]T {
 	out := make(map[K]T)
+	//faqlint:allow mapiter(order-free intersection: writes keyed by k, semiring Mul applied per key)
 	for k, va := range a {
 		if vb, ok := b[k]; ok {
 			out[k] = q.S.Mul(va, vb)

@@ -37,13 +37,16 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 	if len(in.Sets) == 0 {
 		return nil, rep, fmt.Errorf("protocol: no players")
 	}
-	var K []int
+	// Iterate players in sorted order so validation surfaces the same
+	// error on every run (faqlint:mapiter — raw map order here made the
+	// first-reported violation nondeterministic).
+	K := sortedKeys(in.Sets)
 	maxSet := 0
-	for u, s := range in.Sets {
+	for _, u := range K {
+		s := in.Sets[u]
 		if u < 0 || u >= in.G.N() {
 			return nil, rep, fmt.Errorf("protocol: player %d out of range", u)
 		}
-		K = append(K, u)
 		if len(s) > maxSet {
 			maxSet = len(s)
 		}

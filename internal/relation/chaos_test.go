@@ -47,14 +47,14 @@ func recoverInjected(f func()) (ip *fault.InjectedPanic) {
 	return nil
 }
 
-// TestKernelChaos sweeps the kernel-entry failpoints at the call shape
+// TestChaosKernel sweeps the kernel-entry failpoints at the call shape
 // the kernels expose: the value-returning kernels (Join, Semijoin,
 // Build) panic with a typed *fault.InjectedPanic on every failing mode
 // — the payload the service boundary converts to ErrInternal — and
 // EliminateVar returns a typed error. Pinned at 1/2/8 workers since the
 // kernels partition internally; a contained fault never corrupts a
 // later fault-free run.
-func TestKernelChaos(t *testing.T) {
+func TestChaosKernel(t *testing.T) {
 	defer fault.Reset()
 	fault.Reset()
 	s := semiring.Count{}

@@ -291,6 +291,7 @@ func joinHash[T any](s semiring.Semiring[T], a, b *Relation[T], shared []int) *R
 		return out.Build()
 	}
 
+	//faqlint:allow hotpath(documented arity>MaxPacked fallback: string keys off the hot path)
 	head := make(map[string]int32, nb)
 	next := make([]int32, nb)
 	for i := nb - 1; i >= 0; i-- {
@@ -405,6 +406,7 @@ func semijoinHash[T any](a, b *Relation[T], shared []int) *Relation[T] {
 		return out
 	}
 
+	//faqlint:allow hotpath(documented arity>MaxPacked fallback: string keys off the hot path)
 	seen := make(map[string]struct{}, b.Len())
 	for i := 0; i < b.Len(); i++ {
 		seen[keys.EncodeCols(b.Tuple(i), bCols)] = struct{}{}

@@ -116,6 +116,7 @@ func NewBuilderHint[T any](s semiring.Semiring[T], schema []int, capacity int) *
 	sort.Ints(sorted)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
+			//faqlint:allow nopanic(programmer-error precondition: a duplicate schema variable is a caller bug, not data)
 			panic(fmt.Sprintf("relation: duplicate variable %d in schema %v", sorted[i], schema))
 		}
 	}
@@ -139,6 +140,7 @@ func (b *Builder[T]) Len() int { return len(b.vals) }
 // an annotation. Length mismatches panic.
 func (b *Builder[T]) Add(tuple []int, val T) {
 	if len(tuple) != len(b.schema) {
+		//faqlint:allow nopanic(programmer-error precondition: tuple arity is fixed by the schema the caller built)
 		panic(fmt.Sprintf("relation: tuple arity %d != schema arity %d", len(tuple), len(b.schema)))
 	}
 	n := len(b.rows)
@@ -156,6 +158,7 @@ func (b *Builder[T]) Add(tuple []int, val T) {
 // relations.
 func (b *Builder[T]) AddRow(row []int32, val T) {
 	if len(row) != len(b.schema) {
+		//faqlint:allow nopanic(programmer-error precondition: row arity is fixed by the schema the caller built)
 		panic(fmt.Sprintf("relation: row arity %d != schema arity %d", len(row), len(b.schema)))
 	}
 	b.rows = append(b.rows, row...)
@@ -516,8 +519,10 @@ func EliminateVar[T any](s semiring.Semiring[T], r *Relation[T], v int, op semir
 		val   T
 		count int
 	}
+	//faqlint:allow hotpath(documented arity>MaxPacked fallback: string keys off the hot path)
 	groups := make(map[string]*group, n)
 	var order []string
+	//faqlint:allow hotpath(documented arity>MaxPacked fallback: string keys off the hot path)
 	reps := make(map[string][]int32, n)
 	for i := 0; i < n; i++ {
 		t := r.Tuple(i)

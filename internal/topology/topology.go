@@ -25,6 +25,7 @@ type Graph struct {
 // NewGraph returns an edgeless graph on n vertices.
 func NewGraph(n int) *Graph {
 	if n < 0 {
+		//faqlint:allow nopanic(programmer-error precondition: topologies are constructed from static shapes)
 		panic(fmt.Sprintf("topology: negative vertex count %d", n))
 	}
 	return &Graph{n: n, adj: make([][]int, n), index: make(map[[2]int]int)}
@@ -35,9 +36,11 @@ func NewGraph(n int) *Graph {
 // paper's topologies are simple graphs; private channels are unique).
 func (g *Graph) AddEdge(u, v int) int {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		//faqlint:allow nopanic(programmer-error precondition: edge endpoints are validated at construction)
 		panic(fmt.Sprintf("topology: edge (%d,%d) out of range [0,%d)", u, v, g.n))
 	}
 	if u == v {
+		//faqlint:allow nopanic(programmer-error precondition: self-loops are a construction bug)
 		panic(fmt.Sprintf("topology: self-loop at %d", u))
 	}
 	if u > v {
@@ -45,6 +48,7 @@ func (g *Graph) AddEdge(u, v int) int {
 	}
 	k := [2]int{u, v}
 	if _, dup := g.index[k]; dup {
+		//faqlint:allow nopanic(programmer-error precondition: duplicate edges are a construction bug)
 		panic(fmt.Sprintf("topology: duplicate edge (%d,%d)", u, v))
 	}
 	id := len(g.edges)
