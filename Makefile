@@ -13,6 +13,11 @@
 #                 (faqbench -parallel: wall clock + simulated makespan,
 #                 atomic and intra-node-shaped, per worker count;
 #                 answers verified bit-identical)
+#   make bench-incremental — point-update latency of materialized views
+#                 vs full re-solve → BENCH_incremental.json (faqbench
+#                 -incremental: path7/star6/tree6 at n = 1e4 and 1e5;
+#                 every measured answer verified bit-identical to a
+#                 from-scratch solve before the artifact is written)
 #   make bench-all — every benchmark in the repo (paper tables + kernel)
 #   make test-workers — re-run the parallel≡sequential equivalence suites
 #                 with the default pool pinned at 1, 2, and 8 workers
@@ -50,19 +55,20 @@ FUZZTIME  ?= 30s
 SMOKEADDR ?= 127.0.0.1:18080
 
 # The packages holding the parallel≡sequential equivalence suites.
-WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./faqs/
+WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./internal/delta/ ./internal/delta/churn/ ./faqs/
 
-.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-all fuzz test-workers bench-service smoke-service examples
+.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-incremental bench-all fuzz test-workers bench-service smoke-service examples
 
 # The packages holding chaos (failpoint-sweep) TestChaos* suites: the
-# serving path, the kernels, the exec pool, the netsim ledger, the
-# public façade, and the daemon's HTTP boundary. This list must mirror
+# serving path, the incremental-maintenance engine, the kernels, the
+# exec pool, the netsim ledger, the public façade, and the daemon's
+# HTTP boundary. This list must mirror
 # the failpoint analyzer's ChaosPackages (internal/lint/failpoint.go):
 # the analyzer flags arming tests in packages outside it, so the two
 # cannot drift silently. The fault registry's own unit suite runs in
 # tier-1/`make race` — its arming calls are exercises of the registry,
 # not chaos sweeps (analyzer Exempt entry).
-CHAOS_PKGS = ./internal/service/ ./internal/relation/ ./internal/protocol/ ./internal/exec/ ./faqs/ ./cmd/faqd/
+CHAOS_PKGS = ./internal/service/ ./internal/delta/ ./internal/relation/ ./internal/protocol/ ./internal/exec/ ./faqs/ ./cmd/faqd/
 
 build:
 	$(GO) build ./...
@@ -106,6 +112,9 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/faqbench -parallel
 
+bench-incremental:
+	$(GO) run ./cmd/faqbench -incremental
+
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
 
@@ -118,6 +127,7 @@ fuzz:
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzBuilderDuplicateMerge -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/relation/ -run=NONE -fuzz=FuzzJoinMergeParallel -fuzztime=$(FUZZTIME)
 	$(GO) test ./faqs/ -run=NONE -fuzz=FuzzQueryBuilder -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/delta/ -run=NONE -fuzz=FuzzDeltaApply -fuzztime=$(FUZZTIME)
 
 bench-service:
 	$(GO) run ./cmd/faqload -out BENCH_service.json

@@ -1,0 +1,226 @@
+package main
+
+// The -incremental dimension: point-update latency of the delta
+// maintenance engine (internal/delta) against a full from-scratch
+// re-solve, written to BENCH_incremental.json. Three standing workload
+// templates (path7 / star6 / tree6, the same shapes the churn harness
+// sweeps) at n = 1e4 and 1e5 tuples per edge over the Count ring.
+//
+// Each measured op alternates inserting and deleting one tuple on a
+// leaf edge — the shape a standing view sees from a trickle feed — and
+// times Materialized.Update + Answer. The reference side maintains the
+// same base relations in a churn.Model and times a full faq.SolveGHD
+// over the rebuilt factors (factor construction is excluded from the
+// timer: only solve work counts, which is conservative for the
+// reported speedup). Every measured op's incremental answer is checked
+// bit-identical to the from-scratch answer; any divergence aborts the
+// run before the artifact is written.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/delta/churn"
+	"repro/internal/faq"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+type incrementalBench struct {
+	Template        string  `json:"template"`
+	N               int     `json:"n"`
+	Dom             int     `json:"dom"`
+	Edges           int     `json:"edges"`
+	Strategy        string  `json:"strategy"`
+	Ops             int     `json:"ops"`
+	UpdateMedianNS  int64   `json:"update_median_ns"`
+	UpdateP99NS     int64   `json:"update_p99_ns"`
+	ResolveMedianNS int64   `json:"resolve_median_ns"`
+	Speedup         float64 `json:"speedup"`
+	BitIdentical    bool    `json:"bit_identical"`
+}
+
+type incrementalReport struct {
+	HostCPUs    int                `json:"host_cpus"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Methodology string             `json:"methodology"`
+	Benchmarks  []incrementalBench `json:"benchmarks"`
+}
+
+// seedCountModel builds a Count query over tpl with n random tuples per
+// edge and wraps it in the churn model that maintains the reference
+// copy of the base relations.
+func seedCountModel(tpl workload.Template, n, dom int, rng *rand.Rand) (*faq.Query[int64], *churn.Model[int64], *delta.Materialized[int64], error) {
+	s := semiring.Count{}
+	// BuildQuery assigns vertex ids (nil factors become empty
+	// relations); seed real factors against its schemas below.
+	q, err := churn.BuildQuery[int64](s, tpl, dom, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for e := range tpl.Edges() {
+		b := relation.NewBuilderHint[int64](s, q.H.Edge(e), n)
+		for i := 0; i < n; i++ {
+			row := make([]int, len(q.H.Edge(e)))
+			for k := range row {
+				row[k] = rng.Intn(dom)
+			}
+			b.Add(row, 1)
+		}
+		q.Factors[e] = b.Build()
+	}
+	model, err := churn.NewModel(q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := delta.Materialize(context.Background(), q, model.GHD(), delta.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return q, model, m, nil
+}
+
+// runIncrementalBench measures ops alternating point inserts/deletes on
+// the template's last edge (a leaf in every standing template).
+func runIncrementalBench(tpl workload.Template, n, dom, ops int) (incrementalBench, error) {
+	rng := rand.New(rand.NewSource(int64(7*n + len(tpl.Name))))
+	q, model, m, err := seedCountModel(tpl, n, dom, rng)
+	if err != nil {
+		return incrementalBench{}, err
+	}
+	defer m.Close()
+	s := semiring.Count{}
+	edge := len(tpl.Edges()) - 1
+	ctx := context.Background()
+
+	bench := incrementalBench{
+		Template: tpl.Name, N: n, Dom: dom,
+		Edges:    len(tpl.Edges()),
+		Strategy: string(m.Strategy()),
+		Ops:      ops,
+	}
+	updateNS := make([]int64, 0, ops)
+	resolveNS := make([]int64, 0, ops)
+	var pending []int // the tuple the next delete removes again
+	for op := 0; op < ops; op++ {
+		var batch delta.Batch[int64]
+		if op%2 == 0 {
+			// Steady-state point update: bump an existing tuple's count
+			// (1 → 2); the following op deletes the duplicate (2 → 1).
+			row, _ := model.Contribution(edge, rng.Intn(model.Live(edge)))
+			pending = append([]int(nil), row...)
+			batch = delta.Batch[int64]{Edge: edge,
+				Inserts: []delta.Tuple[int64]{{Row: pending, Val: 1}}}
+			model.Insert(edge, pending, 1)
+		} else {
+			batch = delta.Batch[int64]{Edge: edge,
+				Deletes: []delta.Tuple[int64]{{Row: pending, Val: 1}}}
+			if !model.TryDelete(edge, pending, 1) {
+				return bench, fmt.Errorf("model lost tuple %v", pending)
+			}
+		}
+		start := time.Now()
+		if err := m.Update(ctx, batch); err != nil {
+			return bench, fmt.Errorf("%s n=%d op %d: %w", tpl.Name, n, op, err)
+		}
+		got, err := m.Answer()
+		if err != nil {
+			return bench, err
+		}
+		updateNS = append(updateNS, time.Since(start).Nanoseconds())
+
+		// Reference: full solve over prebuilt factors. Build cost is the
+		// data-load side of a re-solve and stays outside the timer, which
+		// is conservative for the reported speedup.
+		refQ := &faq.Query[int64]{S: s, H: q.H, Factors: model.Factors(),
+			Free: q.Free, DomSize: q.DomSize}
+		start = time.Now()
+		want, _, err := faq.SolveGHD(nil, refQ, model.GHD(), faq.SolveOptions{})
+		if err != nil {
+			return bench, err
+		}
+		resolveNS = append(resolveNS, time.Since(start).Nanoseconds())
+		if !relation.Equal[int64](s, got, want) {
+			return bench, fmt.Errorf("%s n=%d op %d: incremental answer diverges from re-solve", tpl.Name, n, op)
+		}
+	}
+	bench.UpdateMedianNS = quantileNS(updateNS, 0.50)
+	bench.UpdateP99NS = quantileNS(updateNS, 0.99)
+	bench.ResolveMedianNS = quantileNS(resolveNS, 0.50)
+	if bench.UpdateMedianNS > 0 {
+		bench.Speedup = float64(bench.ResolveMedianNS) / float64(bench.UpdateMedianNS)
+	}
+	bench.BitIdentical = true
+	return bench, nil
+}
+
+func quantileNS(xs []int64, q float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// runIncremental executes the point-update benchmarks and writes the
+// JSON artifact — aborting before the write if any op's incremental
+// answer failed the bit-identity check.
+func runIncremental(outPath string) error {
+	rep := incrementalReport{
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Methodology: "update_*_ns = Materialized.Update (one-tuple insert or delete on a leaf edge) " +
+			"plus Answer; resolve_median_ns = a full faq.SolveGHD over the same mutated base " +
+			"relations, prebuilt outside the timer; speedup = resolve_median_ns / update_median_ns. " +
+			"Count ring, n tuples per edge drawn uniformly over [0,dom)^2 with dom = n/8, ops " +
+			"alternate insert/delete of the same tuple. Every op's incremental answer is verified " +
+			"bit-identical to the re-solve before anything is written.",
+	}
+	for _, n := range []int{10000, 100000} {
+		ops := 20
+		if n >= 100000 {
+			ops = 10
+		}
+		for _, name := range []string{"path7", "star6", "tree6"} {
+			tpl, ok := workload.TemplateByName(name)
+			if !ok {
+				return fmt.Errorf("unknown template %q", name)
+			}
+			b, err := runIncrementalBench(tpl, n, n, ops)
+			if err != nil {
+				return err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("incremental maintenance vs full re-solve (host: %d CPU(s))\n", rep.HostCPUs)
+	fmt.Printf("%-10s %-8s %-10s %-14s %-12s %-14s %-10s\n",
+		"template", "n", "strategy", "update_med_us", "p99_us", "resolve_med_us", "speedup")
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-10s %-8d %-10s %-14.1f %-12.1f %-14.1f %-10.1f\n",
+			b.Template, b.N, b.Strategy,
+			float64(b.UpdateMedianNS)/1e3, float64(b.UpdateP99NS)/1e3,
+			float64(b.ResolveMedianNS)/1e3, b.Speedup)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/workload"
+)
+
+// BenchmarkPointUpdate measures one steady-state point update on the
+// path7 view at n = 1e5 — the critical number behind the -incremental
+// artifact's speedup column.
+func BenchmarkPointUpdate(b *testing.B) {
+	tpl, _ := workload.TemplateByName("path7")
+	n := 100000
+	rng := rand.New(rand.NewSource(1))
+	_, model, m, err := seedCountModel(tpl, n, n, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	edge := len(tpl.Edges()) - 1
+	row, _ := model.Contribution(edge, 0)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := delta.Batch[int64]{Edge: edge,
+			Inserts: []delta.Tuple[int64]{{Row: row, Val: 1}}}
+		if i%2 == 1 {
+			batch = delta.Batch[int64]{Edge: edge,
+				Deletes: []delta.Tuple[int64]{{Row: row, Val: 1}}}
+		}
+		if err := m.Update(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Answer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	faqbench [experiment ...]
 //	faqbench -parallel [out.json]
+//	faqbench -incremental [out.json]
 //
 // With no arguments every experiment runs. Available experiment ids:
 // widths, table1, examples, example24, setint, taumcf, mcm, entropy,
@@ -14,6 +15,11 @@
 // multi-subtree workload at n = 1e4 and 1e5, sweeping 1/2/4/8 workers,
 // and writes the speedup-vs-workers curves to BENCH_parallel.json (or
 // the given path). See parallel.go for the methodology.
+//
+// -incremental benchmarks the delta maintenance engine: point-update
+// latency of a materialized view vs a full from-scratch re-solve on
+// path7/star6/tree6 at n = 1e4 and 1e5, written to
+// BENCH_incremental.json. See incremental.go for the methodology.
 package main
 
 import (
@@ -37,6 +43,13 @@ func run(args []string) error {
 			out = args[1]
 		}
 		return runParallel(out)
+	}
+	if len(args) > 0 && args[0] == "-incremental" {
+		out := "BENCH_incremental.json"
+		if len(args) > 1 {
+			out = args[1]
+		}
+		return runIncremental(out)
 	}
 	registry := map[string]func() (*experiments.Table, error){
 		"widths":    experiments.WidthTable,

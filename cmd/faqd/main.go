@@ -47,6 +47,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -70,10 +71,20 @@ type server struct {
 	engine   *faqs.Engine
 	started  time.Time
 	draining atomic.Bool
+
+	// mats holds the named materialized views served by /materialize
+	// and /update. The mutex guards only the map; each view handles its
+	// own update serialization.
+	matsMu sync.Mutex
+	mats   map[string]*faqs.Materialized
 }
 
 func newServer(opts ...faqs.Option) *server {
-	return &server{engine: faqs.NewEngine(opts...), started: time.Now()}
+	return &server{
+		engine:  faqs.NewEngine(opts...),
+		started: time.Now(),
+		mats:    make(map[string]*faqs.Materialized),
+	}
 }
 
 // mux wires the handler table (shared with the handler tests).
@@ -81,6 +92,8 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/materialize", s.handleMaterialize)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -224,6 +237,89 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	planHeaders(w, ex.Fingerprint, ex.CacheHit)
 	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleMaterialize registers a named standing view: build the query
+// like /solve, materialize it, and answer with the initial result.
+// Duplicate names are 409 (the existing view keeps serving).
+func (s *server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var mr faqs.WireMaterializeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&mr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if mr.Name == "" {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("materialize: empty view name"))
+		return
+	}
+	m, err := s.engine.MaterializeWire(r.Context(), &mr.Request)
+	if err != nil {
+		solveError(w, err)
+		return
+	}
+	s.matsMu.Lock()
+	if _, exists := s.mats[mr.Name]; exists {
+		s.matsMu.Unlock()
+		m.Close()
+		httpError(w, http.StatusConflict, fmt.Errorf("materialize: view %q already exists", mr.Name))
+		return
+	}
+	s.mats[mr.Name] = m
+	s.matsMu.Unlock()
+	wa, err := faqs.RenderMaterialized(mr.Name, m)
+	if err != nil {
+		solveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wa)
+}
+
+// handleUpdate applies one insert/delete batch against a named view and
+// answers with the freshly maintained result (or closes the view).
+// Unknown names are 404; a failed update leaves the view unchanged and
+// maps onto the same HTTP contract as /solve.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var ur faqs.WireUpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&ur); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.matsMu.Lock()
+	m, ok := s.mats[ur.Name]
+	if ok && ur.Close {
+		delete(s.mats, ur.Name)
+	}
+	s.matsMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("update: no view named %q", ur.Name))
+		return
+	}
+	if ur.Close {
+		strategy := m.Strategy()
+		m.Close()
+		writeJSON(w, http.StatusOK, faqs.WireMaterializedAnswer{Name: ur.Name, Strategy: strategy, Closed: true})
+		return
+	}
+	if err := m.Update(r.Context(), ur.Factor, ur.Inserts, ur.Deletes); err != nil {
+		solveError(w, err)
+		return
+	}
+	wa, err := faqs.RenderMaterialized(ur.Name, m)
+	if err != nil {
+		solveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wa)
 }
 
 // solveError maps a serving failure onto the HTTP contract and writes

@@ -60,6 +60,19 @@
 // semiring's re-association tolerance. Values cross the façade as
 // float64 (exact for Bool/F2 and for Count within 2^53).
 //
+// # Incremental maintenance
+//
+// Engine.Materialize builds a standing view of a query: the engine
+// retains every GHD node's message relation and Materialized.Update
+// re-answers insert/delete tuple batches by propagating semiring
+// deltas up only the affected path — exact ⊕-deltas for Count,
+// SumProduct, and F2, support counting for Bool, and a documented
+// per-node recompute fallback for the idempotent semirings and general
+// FAQs (Strategy names which one is in use; Stats counts updates and
+// delta_fallbacks). Updates are atomic: on any error the view is
+// unchanged and remains usable. cmd/faqd serves the same handles as
+// named views through POST /materialize and /update.
+//
 // # Distributed execution
 //
 // SolveOnNetwork runs the paper's distributed protocols on a synchronous

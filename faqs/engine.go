@@ -302,6 +302,8 @@ type ServiceStats struct {
 	Shed             int64  `json:"shed"`
 	DeadlineExceeded int64  `json:"deadline_exceeded"`
 	Panics           int64  `json:"panics"`
+	Updates          int64  `json:"updates"`         // materialized-handle update batches
+	DeltaFallbacks   int64  `json:"delta_fallbacks"` // updates served by recompute fallback
 }
 
 // PlanNodeBound is the per-GHD-node slice of the paper's structural

@@ -1,0 +1,124 @@
+package faqs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faq"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// TestMaterializePublicAPI drives the façade end to end: materialize a
+// count query, interleave inserts and deletes through TupleUpdate, and
+// check every answer against a from-scratch Solve of an equivalently
+// mutated query.
+func TestMaterializePublicAPI(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	q := buildTemplate(t, Count, templates[0].spec, templates[0].free, nil, 41, 30, 8)
+
+	m, err := e.Materialize(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Strategy() != "ring" {
+		t.Fatalf("count strategy = %q, want ring", m.Strategy())
+	}
+
+	want, err := e.Solve(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameAnswer(got, want, true); err != nil {
+		t.Fatalf("initial answer: %v", err)
+	}
+
+	// Insert a valued tuple and a default-valued (weight 1) tuple, then
+	// delete the first again: the view must land back on a Solve of the
+	// query with only the weight-1 tuple added.
+	three := 3.0
+	if err := m.Update(ctx, 2, []TupleUpdate{{Tuple: []int{7, 7}, Value: &three}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(ctx, 2, []TupleUpdate{{Tuple: []int{6, 5}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(ctx, 2, nil, []TupleUpdate{{Tuple: []int{7, 7}, Value: &three}}); err != nil {
+		t.Fatal(err)
+	}
+
+	q2 := buildTemplate(t, Count, templates[0].spec, templates[0].free, nil, 41, 30, 8)
+	tq := q2.typed.(*faq.Query[int64])
+	tq.Factors[2] = addTupleCount(tq, 2, []int{6, 5}, 1)
+	want2 := referenceSolve(t, q2)
+	got2, err := m.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameAnswer(got2, want2, true); err != nil {
+		t.Fatalf("after updates: %v", err)
+	}
+
+	// Empty batches are rejected without touching the view.
+	if err := m.Update(ctx, 2, nil, nil); err == nil {
+		t.Fatal("empty update batch must error")
+	}
+	st := e.Stats()
+	var updates int64
+	for _, ss := range st.Services {
+		updates += ss.Updates
+	}
+	if updates != 3 {
+		t.Fatalf("engine stats updates = %d, want 3", updates)
+	}
+
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Answer(); err == nil {
+		t.Fatal("Answer after Close must error")
+	}
+}
+
+// TestMaterializeFallbackShapeRejected pins the typed error for shapes
+// the incremental engine cannot maintain.
+func TestMaterializeFallbackShapeRejected(t *testing.T) {
+	e := NewEngine()
+	// Free variables at both ends of a path: brute-force fallback shape.
+	qb := NewQuery(Count).Domain(6).Free("A", "C")
+	rb := NewRelationBuilder(MustSchema("A", "B"))
+	rb.Add(0, 1)
+	r1, err := rb.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb = NewRelationBuilder(MustSchema("B", "C"))
+	rb.Add(1, 2)
+	r2, err := rb.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qb.Factor(r1).Factor(r2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Materialize(context.Background(), q); !errors.Is(err, faq.ErrFreeOutsideRoot) {
+		t.Fatalf("err = %v, want ErrFreeOutsideRoot", err)
+	}
+}
+
+func addTupleCount(tq *faq.Query[int64], e int, row []int, v int64) *relation.Relation[int64] {
+	b := relation.NewBuilder(semiring.Count{}, tq.H.Edge(e))
+	f := tq.Factors[e]
+	for i := 0; i < f.Len(); i++ {
+		b.AddRow(f.Tuple(i), f.Value(i))
+	}
+	b.Add(row, v)
+	return b.Build()
+}

@@ -124,6 +124,7 @@ type runner interface {
 	solve(ctx context.Context, q *Query) (*Result, error)
 	solveBatch(ctx context.Context, qs []*Query) ([]*Result, []error)
 	explain(q *Query) (*Explain, error)
+	materialize(ctx context.Context, q *Query) (*Materialized, error)
 	network(q *Query, topo Topology, assign []int, output int) (*NetworkRun, error)
 	stats() ServiceStats
 }
@@ -299,6 +300,7 @@ func (r *typedRunner[T]) stats() ServiceStats {
 		Semiring: s.Semiring, Requests: s.Requests, Batches: s.Batches,
 		Fallbacks: s.Fallbacks, Rejected: s.Rejected, Errors: s.Errors,
 		Shed: s.Shed, DeadlineExceeded: s.DeadlineExceeded, Panics: s.Panics,
+		Updates: s.Updates, DeltaFallbacks: s.DeltaFallbacks,
 	}
 }
 

@@ -121,6 +121,68 @@ func BuildWireQuery(wr *WireRequest) (*Query, error) {
 	return qb.Build()
 }
 
+// WireMaterializeRequest registers a named standing view: the query is
+// materialized once and then maintained incrementally through /update.
+type WireMaterializeRequest struct {
+	// Name identifies the view in subsequent /update calls.
+	Name    string      `json:"name"`
+	Request WireRequest `json:"request"`
+}
+
+// WireTupleUpdate is one inserted or deleted tuple of an /update batch;
+// it is exactly the library's TupleUpdate (nil Value means the
+// semiring's 1, matching plain wire tuples).
+type WireTupleUpdate = TupleUpdate
+
+// WireUpdateRequest applies one insert/delete batch against a named
+// materialized view (or closes it). Factor indexes the view's edge
+// list; tuples are in the edge's attribute order.
+type WireUpdateRequest struct {
+	Name    string            `json:"name"`
+	Factor  int               `json:"factor"`
+	Inserts []WireTupleUpdate `json:"inserts,omitempty"`
+	Deletes []WireTupleUpdate `json:"deletes,omitempty"`
+	// Close releases the view instead of updating it.
+	Close bool `json:"close,omitempty"`
+}
+
+// WireMaterializedAnswer is the response of /materialize and /update:
+// the view's identity, its maintenance strategy, and the current
+// answer (empty when the view was closed).
+type WireMaterializedAnswer struct {
+	Name     string    `json:"name"`
+	Strategy string    `json:"strategy"`
+	Closed   bool      `json:"closed,omitempty"`
+	Schema   []string  `json:"schema,omitempty"`
+	Tuples   [][]int   `json:"tuples,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+}
+
+// MaterializeWire builds and materializes a wire request's query — the
+// query-assembly half of faqd's /materialize handler.
+func (e *Engine) MaterializeWire(ctx context.Context, wr *WireRequest) (*Materialized, error) {
+	q, err := BuildWireQuery(wr)
+	if err != nil {
+		return nil, err
+	}
+	return e.Materialize(ctx, q)
+}
+
+// RenderMaterialized renders a view's current answer on the wire.
+func RenderMaterialized(name string, m *Materialized) (*WireMaterializedAnswer, error) {
+	res, err := m.Answer()
+	if err != nil {
+		return nil, err
+	}
+	return &WireMaterializedAnswer{
+		Name:     name,
+		Strategy: m.Strategy(),
+		Schema:   res.Schema,
+		Tuples:   res.Tuples,
+		Values:   res.Values,
+	}, nil
+}
+
 // SolveWire serves one wire request end to end: semiring lookup, query
 // assembly through the public builders, Engine.Solve, and the wire
 // rendering — the whole body of faqd's /solve handler.

@@ -1,0 +1,188 @@
+package delta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// chaosModes are the four injected behaviors, each armed to fire once
+// so the handle both experiences the fault and stays sweepable after.
+var chaosModes = []fault.Config{
+	{Mode: fault.ModeError, Once: true},
+	{Mode: fault.ModePanic, Once: true},
+	{Mode: fault.ModeDelay, Once: true},
+	{Mode: fault.ModeCancel, Once: true},
+}
+
+// typedChaosError reports whether err is an allowed faulted-update
+// outcome: the injected error or a context cancellation.
+func typedChaosError(err error) bool {
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// chaosQuery builds a fresh 4-edge path query with diagonal factors.
+func chaosQuery[T any](s semiring.Semiring[T], one T) *faq.Query[T] {
+	hb := hypergraph.NewBuilder()
+	hb.Edge("v0", "v1")
+	hb.Edge("v1", "v2")
+	hb.Edge("v2", "v3")
+	hb.Edge("v3", "v4")
+	h := hb.Build()
+	q := &faq.Query[T]{S: s, H: h, Free: []int{0}, DomSize: 8,
+		Factors: make([]*relation.Relation[T], h.NumEdges())}
+	for e := 0; e < h.NumEdges(); e++ {
+		b := relation.NewBuilder(s, h.Edge(e))
+		for i := 0; i < 5; i++ {
+			b.Add([]int{i, i}, one)
+		}
+		q.Factors[e] = b.Build()
+	}
+	return q
+}
+
+// updateBounded runs one Update under a hang watchdog, converting an
+// injected panic into its typed value.
+func updateBounded[T any](t *testing.T, m *Materialized[T], b Batch[T]) (err error, panicked *fault.InjectedPanic) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				ip, ok := r.(*fault.InjectedPanic)
+				if !ok {
+					panic(r)
+				}
+				panicked = ip
+			}
+		}()
+		err = m.Update(context.Background(), b)
+	}()
+	select {
+	case <-done:
+		return err, panicked
+	case <-time.After(60 * time.Second):
+		t.Fatal("update hung under injected fault")
+		return nil, nil
+	}
+}
+
+// chaosCase sweeps delta.apply for one strategy: the faulted update
+// either fails typed (and rolls back completely) or succeeds with a
+// bit-identical answer; either way the handle keeps serving afterward.
+func chaosCase[T any](t *testing.T, s semiring.Semiring[T], one, x, y T, wantStrategy Strategy) {
+	for _, w := range []int{1, 2, 8} {
+		pool := exec.New(w)
+		for _, cfg := range chaosModes {
+			w, cfg := w, cfg
+			t.Run(fmt.Sprintf("w%d/%s", w, cfg.Mode), func(t *testing.T) {
+				prev := exec.SetWorkers(w)
+				defer exec.SetWorkers(prev)
+				ref := chaosQuery(s, one)
+				g, err := faq.PlanGHD(ref.H, ref.Free)
+				if err != nil {
+					t.Fatal(err)
+				}
+				solveRef := func() *relation.Relation[T] {
+					ans, _, err := faq.SolveGHD(nil, ref, g, faq.SolveOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return ans
+				}
+				refAdd := func(e int, row []int, v T) {
+					b := relation.NewBuilder(s, ref.H.Edge(e))
+					f := ref.Factors[e]
+					for i := 0; i < f.Len(); i++ {
+						b.AddRow(f.Tuple(i), f.Value(i))
+					}
+					b.Add(row, v)
+					ref.Factors[e] = b.Build()
+				}
+
+				m, err := Materialize(context.Background(), ref, g, Options{Pool: pool})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m.Close()
+				if m.Strategy() != wantStrategy {
+					t.Fatalf("strategy = %v, want %v", m.Strategy(), wantStrategy)
+				}
+				base := solveRef()
+				if got, _ := m.Answer(); !relation.Equal(s, got, base) {
+					t.Fatal("pre-fault answer diverges")
+				}
+
+				fault.Enable("delta.apply", cfg)
+				defer fault.Reset()
+				ins := Batch[T]{Edge: 1, Inserts: []Tuple[T]{{Row: []int{6, 6}, Val: x}}}
+				uerr, panicked := updateBounded(t, m, ins)
+				site, _ := fault.Lookup("delta.apply")
+				if site.Fired() == 0 {
+					t.Fatal("delta.apply never fired — this case tested nothing")
+				}
+				want := base
+				switch {
+				case panicked != nil:
+					// Typed panic: state must have rolled back.
+				case uerr != nil:
+					if !typedChaosError(uerr) {
+						t.Fatalf("untyped error under %s: %v", cfg.Mode, uerr)
+					}
+				default:
+					refAdd(1, []int{6, 6}, x)
+					want = solveRef()
+				}
+				got, err := m.Answer()
+				if err != nil {
+					t.Fatalf("Answer after fault: %v", err)
+				}
+				if !relation.Equal(s, got, want) {
+					t.Fatalf("fault under %s corrupted the materialized answer", cfg.Mode)
+				}
+
+				// Containment: the handle applies clean updates after
+				// the fault is disarmed.
+				fault.Reset()
+				if err := m.Update(context.Background(), Batch[T]{Edge: 2, Inserts: []Tuple[T]{{Row: []int{6, 6}, Val: y}}}); err != nil {
+					t.Fatalf("handle unusable after fault: %v", err)
+				}
+				refAdd(2, []int{6, 6}, y)
+				if got, _ := m.Answer(); !relation.Equal(s, got, solveRef()) {
+					t.Fatal("post-fault update diverges")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDeltaApply is the resilience sweep for the incremental
+// maintenance failpoint: delta.apply fired in every mode at 1/2/8
+// workers, across all three maintenance strategies (the support
+// strategy delegates the hit to its Count lift, so the Bool case pins
+// that path too).
+func TestChaosDeltaApply(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	t.Run("ring", func(t *testing.T) {
+		chaosCase[int64](t, semiring.Count{}, 1, 2, 3, StrategyRing)
+	})
+	t.Run("recompute", func(t *testing.T) {
+		chaosCase[float64](t, semiring.MinPlus{}, 1, 2, 3, StrategyRecompute)
+	})
+	t.Run("support", func(t *testing.T) {
+		chaosCase[bool](t, semiring.Bool{}, true, true, true, StrategySupport)
+	})
+}

@@ -1,0 +1,238 @@
+package churn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+// Target selects which edges a mix's ops land on.
+type Target int
+
+const (
+	// TargetAll draws a uniform edge per op.
+	TargetAll Target = iota
+	// TargetLeaf pins every op to a single leaf edge (deepest GHD
+	// node), so updates exercise the longest propagation path.
+	TargetLeaf
+	// TargetRoot pins ops to the root bag's designated edges —
+	// propagation paths of length one, and on tri-pendant a fat
+	// multi-edge core node.
+	TargetRoot
+)
+
+// Mix is one adversarial op distribution.
+type Mix struct {
+	Name    string
+	InsertW int // relative insert weight
+	DeleteW int // relative delete weight
+	// Reinsert biases inserts toward tuples already inserted during
+	// the run, accumulating duplicate contributions (support counts,
+	// ledger multisets, XOR cancellation).
+	Reinsert bool
+	Target   Target
+}
+
+// Mixes returns the standing adversarial mixes from the harness spec.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "uniform", InsertW: 3, DeleteW: 2},
+		// Heavy deletes drain edges to empty (the answer collapses to
+		// empty) and then rebuild them.
+		{Name: "delete-everything", InsertW: 1, DeleteW: 5},
+		{Name: "reinsert-duplicates", InsertW: 4, DeleteW: 2, Reinsert: true},
+		{Name: "touch-one-leaf", InsertW: 3, DeleteW: 2, Target: TargetLeaf},
+		{Name: "churn-the-root-bag", InsertW: 3, DeleteW: 3, Target: TargetRoot},
+	}
+}
+
+// MixByName looks a standing mix up by name.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Config sizes one churn run.
+type Config struct {
+	Seed           int64
+	Ops            int // op count; the answer is checked after every op
+	InitialPerEdge int // tuples seeded per edge before the run (default 24)
+	Dom            int // domain size (default 8)
+	Workers        int // handle pool width (0 = the process default pool)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Ops      int
+	Inserts  int
+	Deletes  int
+	Drained  int // ops that left the target edge empty
+	Strategy delta.Strategy
+}
+
+// Run drives one seeded churn sequence: materialize the template under
+// s, then interleave inserts and deletes per mix, asserting after every
+// op that the handle's answer equals a from-scratch solve over the
+// independently maintained model. randVal draws insert annotations
+// (keep them integer-valued so float comparisons are exact).
+func Run[T any](ctx context.Context, s semiring.Semiring[T], tpl workload.Template, mix Mix, cfg Config, randVal func(*rand.Rand) T) (Result, error) {
+	if cfg.InitialPerEdge == 0 {
+		cfg.InitialPerEdge = 24
+	}
+	if cfg.Dom == 0 {
+		cfg.Dom = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	edges := tpl.Edges()
+	// BuildQuery assigns vertex ids (nil factors become empty
+	// relations); seed real factors against its schemas below.
+	q, err := BuildQuery(s, tpl, cfg.Dom, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	for e := range edges {
+		b := relation.NewBuilderHint(s, q.H.Edge(e), cfg.InitialPerEdge)
+		for i := 0; i < cfg.InitialPerEdge; i++ {
+			b.Add(randRow(rng, len(q.H.Edge(e)), cfg.Dom), randVal(rng))
+		}
+		q.Factors[e] = b.Build()
+	}
+
+	model, err := NewModel(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var dopts delta.Options
+	if cfg.Workers > 0 {
+		dopts.Pool = exec.New(cfg.Workers)
+	}
+	m, err := delta.Materialize(ctx, q, model.GHD(), dopts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+
+	res := Result{Strategy: m.Strategy()}
+	targets := targetEdges(mix.Target, model, len(edges))
+	var seen [][]int // previously inserted rows per run, for Reinsert
+	check := func(op int) error {
+		got, err := m.Answer()
+		if err != nil {
+			return fmt.Errorf("op %d: Answer: %w", op, err)
+		}
+		want, err := model.Solve()
+		if err != nil {
+			return fmt.Errorf("op %d: reference solve: %w", op, err)
+		}
+		if !relation.Equal(s, got, want) {
+			return fmt.Errorf("churn divergence: %s/%s/%T seed %d op %d: materialized %v != rebuild %v",
+				tpl.Name, mix.Name, s, cfg.Seed, op, got, want)
+		}
+		return nil
+	}
+	if err := check(0); err != nil {
+		return res, err
+	}
+
+	for op := 1; op <= cfg.Ops; op++ {
+		e := targets[rng.Intn(len(targets))]
+		del := rng.Intn(mix.InsertW+mix.DeleteW) >= mix.InsertW
+		if del && model.Live(e) == 0 {
+			del = false // nothing live to delete: flip to insert
+		}
+		var batch delta.Batch[T]
+		batch.Edge = e
+		if del {
+			row, val := model.Contribution(e, rng.Intn(model.Live(e)))
+			if !model.TryDelete(e, row, val) {
+				return res, fmt.Errorf("op %d: model lost its own contribution", op)
+			}
+			batch.Deletes = []delta.Tuple[T]{{Row: row, Val: val}}
+			res.Deletes++
+			if model.Live(e) == 0 {
+				res.Drained++
+			}
+		} else {
+			var row []int
+			if mix.Reinsert && len(seen) > 0 && rng.Intn(2) == 0 {
+				cand := seen[rng.Intn(len(seen))]
+				if len(cand) == len(q.H.Edge(e)) {
+					row = cand
+				}
+			}
+			if row == nil {
+				row = randRow(rng, len(q.H.Edge(e)), cfg.Dom)
+			}
+			val := randVal(rng)
+			model.Insert(e, row, val)
+			seen = append(seen, row)
+			batch.Inserts = []delta.Tuple[T]{{Row: row, Val: val}}
+			res.Inserts++
+		}
+		if err := m.Update(ctx, batch); err != nil {
+			return res, fmt.Errorf("op %d (edge %d, delete=%v): %w", op, e, del, err)
+		}
+		if err := check(op); err != nil {
+			return res, err
+		}
+		res.Ops++
+	}
+	return res, nil
+}
+
+func randRow(rng *rand.Rand, arity, dom int) []int {
+	row := make([]int, arity)
+	for i := range row {
+		row[i] = rng.Intn(dom)
+	}
+	return row
+}
+
+// targetEdges resolves a Target to concrete edge indices on the
+// model's decomposition.
+func targetEdges[T any](target Target, model *Model[T], numEdges int) []int {
+	g := model.GHD()
+	switch target {
+	case TargetLeaf:
+		depthOf := func(v int) int {
+			d := 0
+			for g.Parent[v] >= 0 {
+				v, d = g.Parent[v], d+1
+			}
+			return d
+		}
+		deepEdge, deepDepth := 0, -1
+		for e := 0; e < numEdges; e++ {
+			if d := depthOf(g.NodeOf[e]); d > deepDepth {
+				deepEdge, deepDepth = e, d
+			}
+		}
+		return []int{deepEdge}
+	case TargetRoot:
+		var out []int
+		for e := 0; e < numEdges; e++ {
+			if g.NodeOf[e] == g.Root {
+				out = append(out, e)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	out := make([]int, numEdges)
+	for e := range out {
+		out[e] = e
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package churn is the randomized differential harness for incremental
+// maintenance (internal/delta): seeded op sequences of interleaved
+// inserts/deletes over the standing workload templates, asserting after
+// every op that the materialized answer equals a from-scratch
+// faq.SolveGHD over an independently maintained model of the base
+// relations — bit-identical for exact semirings, tolerance-equal (with
+// identical layouts, since the generator draws integer-valued
+// annotations) for the float rings.
+package churn
+
+import (
+	"fmt"
+
+	"repro/internal/faq"
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+// contrib is one live contribution of the model: a tuple plus the
+// annotation it was inserted with.
+type contrib[T any] struct {
+	row []int
+	val T
+}
+
+// Model re-implements the documented per-edge update semantics
+// independently of internal/delta: every base relation is a multiset
+// of live contributions, an insert appends one, a delete removes one
+// semiring-equal contribution (or, for ring semirings, appends the
+// ⊕-inverse), and the factor is the ⊕-fold of what remains. Reference
+// answers come from a from-scratch solve over the rebuilt factors, so
+// a divergence in the delta propagation cannot hide in the model.
+type Model[T any] struct {
+	s        semiring.Semiring[T]
+	h        *hypergraph.Hypergraph
+	g        *ghd.GHD
+	free     []int
+	dom      int
+	contribs [][]contrib[T]
+}
+
+// NewModel seeds a model from a query's initial factors (one live
+// contribution per listed tuple, mirroring how delta seeds its
+// recompute ledgers) and plans its GHD.
+func NewModel[T any](q *faq.Query[T]) (*Model[T], error) {
+	g, err := faq.PlanGHD(q.H, q.Free)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model[T]{s: q.S, h: q.H, g: g, free: q.Free, dom: q.DomSize,
+		contribs: make([][]contrib[T], len(q.Factors))}
+	for e, f := range q.Factors {
+		for i := 0; i < f.Len(); i++ {
+			t := f.Tuple(i)
+			row := make([]int, len(t))
+			for k, x := range t {
+				row[k] = int(x)
+			}
+			m.contribs[e] = append(m.contribs[e], contrib[T]{row: row, val: f.Value(i)})
+		}
+	}
+	return m, nil
+}
+
+// GHD returns the planned decomposition (shared with the handle under
+// test, so both sides run the same tree).
+func (m *Model[T]) GHD() *ghd.GHD { return m.g }
+
+// Live returns the number of live contributions on edge e.
+func (m *Model[T]) Live(e int) int { return len(m.contribs[e]) }
+
+// Contribution returns live contribution i of edge e (the delete
+// targets generators draw from).
+func (m *Model[T]) Contribution(e, i int) ([]int, T) {
+	c := m.contribs[e][i]
+	return c.row, c.val
+}
+
+// Insert appends one live contribution.
+func (m *Model[T]) Insert(e int, row []int, val T) {
+	m.contribs[e] = append(m.contribs[e], contrib[T]{row: append([]int(nil), row...), val: val})
+}
+
+// TryDelete removes the first live contribution equal to (row, val),
+// reporting false when none is listed — the model twin of the
+// support/ledger delete.
+func (m *Model[T]) TryDelete(e int, row []int, val T) bool {
+	cs := m.contribs[e]
+	for i, c := range cs {
+		if sameRow(c.row, row) && m.s.Equal(c.val, val) {
+			m.contribs[e] = append(cs[:i:i], cs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RingDelete appends the ⊕-inverse contribution — the unconditional
+// ring-semiring delete rule (deleting more than was inserted leaves a
+// negative annotation; Count is ℤ).
+func (m *Model[T]) RingDelete(e int, row []int, val T) error {
+	nv, err := negValue(m.s, val)
+	if err != nil {
+		return err
+	}
+	m.Insert(e, row, nv)
+	return nil
+}
+
+func sameRow(a []int, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// negValue is the model's own ⊕-inverse table (deliberately separate
+// from delta's negOf).
+func negValue[T any](s semiring.Semiring[T], v T) (T, error) {
+	switch any(s).(type) {
+	case semiring.Count:
+		c := any(v).(int64)
+		return any(-c).(T), nil
+	case semiring.SumProduct:
+		f := any(v).(float64)
+		return any(-f).(T), nil
+	case semiring.F2:
+		return v, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("churn: semiring %T has no ⊕-inverse", s)
+}
+
+// Factors rebuilds every base relation from the live contributions.
+func (m *Model[T]) Factors() []*relation.Relation[T] {
+	out := make([]*relation.Relation[T], len(m.contribs))
+	for e, cs := range m.contribs {
+		b := relation.NewBuilderHint(m.s, m.h.Edge(e), len(cs))
+		for _, c := range cs {
+			b.Add(c.row, c.val)
+		}
+		out[e] = b.Build()
+	}
+	return out
+}
+
+// Solve runs the from-scratch reference: a full faq.SolveGHD over the
+// rebuilt factors on the shared decomposition.
+func (m *Model[T]) Solve() (*relation.Relation[T], error) {
+	q := &faq.Query[T]{S: m.s, H: m.h, Factors: m.Factors(), Free: m.free, DomSize: m.dom}
+	ans, _, err := faq.SolveGHD(nil, q, m.g, faq.SolveOptions{})
+	return ans, err
+}
+
+// BuildQuery assembles a typed query over a workload template with the
+// given factors (nil, or nil entries, become empty relations) — the
+// shared construction of the harness, the fuzz target, and the
+// incremental benchmark.
+func BuildQuery[T any](s semiring.Semiring[T], tpl workload.Template, dom int, factors []*relation.Relation[T]) (*faq.Query[T], error) {
+	hb := hypergraph.NewBuilder()
+	for _, names := range tpl.Edges() {
+		hb.Edge(names...)
+	}
+	h := hb.Build()
+	if factors == nil {
+		factors = make([]*relation.Relation[T], h.NumEdges())
+	}
+	for e := range factors {
+		if factors[e] == nil {
+			factors[e] = relation.Empty[T](h.Edge(e))
+		}
+	}
+	free := make([]int, 0, len(tpl.Free))
+	for _, name := range tpl.Free {
+		id := hb.VertexID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("churn: template %s free variable %q in no edge", tpl.Name, name)
+		}
+		free = append(free, id)
+	}
+	q := &faq.Query[T]{S: s, H: h, Factors: factors, Free: free, DomSize: dom}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,729 @@
+// Package delta implements incremental maintenance of FAQ answers over
+// a bound GHD plan: a Materialized handle retains every node's message
+// relation from one bottom-up pass and re-answers insert/delete tuple
+// batches against base relations by propagating semiring deltas up only
+// the affected root path — O(affected path) instead of O(full pass)
+// (ROADMAP open item 3).
+//
+// # Delta rules per semiring
+//
+// The pass is ⊕-linear for FAQ-SS queries: Join distributes over ⊕ in
+// each argument and EliminateVar with the semiring ⊕ is a group sum, so
+// a factor change Δ propagates as
+//
+//	Δmsg(v) = Agg_v(Join(Δ, <unchanged siblings>))
+//	msg'(v) = msg(v) ⊕ Δmsg(v)   (relation.PatchAdd: MergeAdd with a
+//	         copy-on-write value patch when Δ only moves annotations
+//	         of already-listed tuples)
+//
+// Point deltas probe the retained relations through per-site cached
+// hash indexes (relation.HashIndex) instead of rebuilding a hash side
+// per hop, so a steady-state one-tuple update costs O(path · (log n +
+// fanout)) probe work plus the values copies — see BENCH_incremental.
+//
+// provided deletions can be expressed as ⊕-inverses:
+//
+//	Count       delete (t,v) ⇒ ⊕ (t,-v)   (ℤ is a ring)
+//	SumProduct  delete (t,v) ⇒ ⊕ (t,-v)   (ℝ is a ring; float ⊕ is
+//	            re-associated, so answers are tolerance-equal, and a
+//	            cancellation that is exact in ℝ may leave a residue row)
+//	F2          delete (t,v) ⇒ ⊕ (t,v)    (XOR is self-inverse)
+//	Bool        support-counted: the handle maintains a Count twin of
+//	            the query (true ⇒ 1 derivation) and answers count > 0.
+//	            Deleting below support 0 is ErrNegativeSupport; support
+//	            beyond 2^63-1 derivations per answer tuple overflows.
+//
+// MinPlus and MaxTimes have idempotent ⊕ (min/max destroy information,
+// no inverse exists), and general FAQs (per-variable aggregate
+// overrides) are not ⊕-linear; both fall back to a documented per-node
+// recompute: the handle keeps a per-edge contribution ledger (a
+// multiset, so deleting one of two equal contributions keeps the
+// other), rebuilds the touched factor, and re-runs the full node task
+// for just the nodes on the edge's root path — still O(path), but
+// O(node) work per node instead of O(|Δ|). These updates are counted
+// separately (Stats.Recomputes, surfaced as delta_fallbacks by the
+// service layer).
+//
+// Updates are atomic: state is staged and committed only after every
+// batch applied, so an error (including an injected fault at the
+// delta.apply failpoint) leaves the handle unchanged and reusable.
+// Handles serialize Update/Answer with a mutex; the relation kernels
+// underneath still partition across the process worker pool, and per
+// the exec contract worker counts never change answers.
+package delta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/faq"
+	"repro/internal/fault"
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// applySite is the chaos-injection point of every Update, hit after
+// validation and before any state is staged — an injected fault must
+// leave the handle unchanged.
+var applySite = fault.Register("delta.apply")
+
+// Typed errors of the maintenance path.
+var (
+	// ErrClosed reports an Update or Answer on a closed handle.
+	ErrClosed = errors.New("delta: materialized handle is closed")
+	// ErrNegativeSupport reports a Bool delete exceeding the tuple's
+	// inserted support (the support count would go negative).
+	ErrNegativeSupport = errors.New("delta: delete exceeds the tuple's inserted support")
+	// ErrNoSuchTuple reports a recompute-ledger delete whose (tuple,
+	// value) contribution is not listed.
+	ErrNoSuchTuple = errors.New("delta: delete of an unlisted contribution")
+)
+
+// Strategy identifies how a handle maintains its state.
+type Strategy string
+
+const (
+	// StrategyRing propagates exact ⊕-deltas (Count, SumProduct, F2).
+	StrategyRing Strategy = "ring"
+	// StrategySupport lifts Bool to a support-counting Count twin.
+	StrategySupport Strategy = "support"
+	// StrategyRecompute re-runs the node task along the affected path
+	// (MinPlus, MaxTimes, general FAQs — idempotent or non-linear ⊕).
+	StrategyRecompute Strategy = "recompute"
+)
+
+// Tuple is one tuple update: Row in the factor's schema column order
+// (the order relation.Relation.Tuple uses), Val its annotation.
+type Tuple[T any] struct {
+	Row []int
+	Val T
+}
+
+// Batch groups the inserts and deletes of one Update against one base
+// relation (hyperedge index of the query's hypergraph).
+type Batch[T any] struct {
+	Edge    int
+	Inserts []Tuple[T]
+	Deletes []Tuple[T]
+}
+
+// Options configures Materialize.
+type Options struct {
+	// Pool schedules the initial bottom-up pass; nil uses exec.Default().
+	Pool *exec.Pool
+}
+
+// Stats counts a handle's maintenance activity.
+type Stats struct {
+	// Updates is the number of successfully applied Update calls.
+	Updates int64
+	// Recomputes counts the Updates served by the per-node recompute
+	// fallback instead of delta propagation.
+	Recomputes int64
+}
+
+// Materialized is an incrementally maintained FAQ answer: the query's
+// base relations, every GHD node's message relation, and the machinery
+// to fold tuple deltas into them. Construct with Materialize; safe for
+// concurrent use.
+type Materialized[T any] struct {
+	mu     sync.Mutex
+	closed bool
+
+	s       semiring.Semiring[T]
+	q       *faq.Query[T] // owned clone; Factors tracks applied updates
+	g       *ghd.GHD
+	ch      [][]int
+	free    map[int]bool
+	edgesAt [][]int // node -> designated hyperedges, ascending
+	pool    *exec.Pool
+
+	nodeRel []*relation.Relation[T] // per node: join of its designated factors
+	msgs    []*relation.Relation[T] // per node: its bottom-up message
+
+	strategy    Strategy
+	neg         func(T) T            // ⊕-inverse (ring strategies)
+	nonNegative bool                 // reject negative annotations (Bool support twin)
+	ledgers     []*ledger[T]         // per-edge contribution multisets (recompute)
+	lift        *Materialized[int64] // the Count twin (support strategy)
+	boolAnswer  *relation.Relation[T]
+
+	// jidx caches hash-join build sides per propagation site (node ×
+	// incoming child × probed sibling), so point deltas probe retained
+	// state in O(|Δ| · fanout) instead of re-hashing an O(n) relation
+	// every hop. Entries self-invalidate when a merge rewrites the
+	// underlying row buffer (relation.IndexValidFor); memory is O(n)
+	// per indexed site, the price of a standing view.
+	jidx map[[3]int32]*relation.HashIndex
+
+	updates    int64
+	recomputes int64
+}
+
+// strategyOf selects the maintenance strategy: ⊕-deltas need an
+// FAQ-SS query (per-variable aggregate overrides are not ⊕-linear)
+// over a semiring with an additive inverse.
+func strategyOf[T any](q *faq.Query[T]) Strategy {
+	if !q.IsSS() {
+		return StrategyRecompute
+	}
+	switch any(q.S).(type) {
+	case semiring.Count, semiring.SumProduct, semiring.F2:
+		return StrategyRing
+	case semiring.Bool:
+		return StrategySupport
+	}
+	return StrategyRecompute
+}
+
+// negOf returns the semiring's ⊕-inverse for ring strategies.
+func negOf[T any](s semiring.Semiring[T]) func(T) T {
+	switch any(s).(type) {
+	case semiring.Count:
+		f := func(v int64) int64 { return -v }
+		return any(f).(func(T) T)
+	case semiring.SumProduct:
+		f := func(v float64) float64 { return -v }
+		return any(f).(func(T) T)
+	case semiring.F2:
+		return func(v T) T { return v } // XOR is self-inverse
+	}
+	return nil
+}
+
+// Materialize runs one bottom-up pass of q over the bound decomposition
+// g (mirroring faq.SolveGHD node for node, so the retained messages are
+// bit-identical to a from-scratch pass for exact semirings) and returns
+// the maintenance handle. The paper's free-variable restriction applies
+// exactly as in SolveGHD: F ⊆ the root bag, else ErrFreeOutsideRoot.
+// The handle clones the factor list; the caller's query is not retained.
+func Materialize[T any](ctx context.Context, q *faq.Query[T], g *ghd.GHD, opts Options) (*Materialized[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rootBag := g.Bags[g.Root]
+	for _, v := range q.Free {
+		if !hypergraph.ContainsSorted(rootBag, v) {
+			return nil, fmt.Errorf("delta: free variable %d outside root bag %v: %w", v, rootBag, faq.ErrFreeOutsideRoot)
+		}
+	}
+	qc := *q
+	qc.Factors = append([]*relation.Relation[T](nil), q.Factors...)
+	m := &Materialized[T]{
+		s:        q.S,
+		q:        &qc,
+		g:        g,
+		ch:       g.Children(),
+		free:     make(map[int]bool, len(q.Free)),
+		edgesAt:  make([][]int, g.NumNodes()),
+		pool:     opts.Pool,
+		strategy: strategyOf(q),
+		jidx:     make(map[[3]int32]*relation.HashIndex),
+	}
+	for _, v := range q.Free {
+		m.free[v] = true
+	}
+	for e, v := range g.NodeOf {
+		m.edgesAt[v] = append(m.edgesAt[v], e)
+	}
+	switch m.strategy {
+	case StrategySupport:
+		lifted := liftBoolQuery(&qc)
+		lift, err := Materialize(ctx, lifted, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		lift.nonNegative = true
+		m.lift = lift
+		return m, nil
+	case StrategyRing:
+		m.neg = negOf(q.S)
+	case StrategyRecompute:
+		m.ledgers = make([]*ledger[T], len(qc.Factors))
+		for e, f := range qc.Factors {
+			m.ledgers[e] = ledgerOf(f)
+		}
+	}
+	if err := m.solveAll(ctx); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// liftBoolQuery builds the Count twin of a Bool query: same hypergraph,
+// free variables, and domain; every listed (true) tuple becomes one
+// derivation (count 1).
+func liftBoolQuery[T any](q *faq.Query[T]) *faq.Query[int64] {
+	cs := semiring.Count{}
+	factors := make([]*relation.Relation[int64], len(q.Factors))
+	for e, f := range q.Factors {
+		b := relation.NewBuilderHint(cs, f.Schema(), f.Len())
+		for i := 0; i < f.Len(); i++ {
+			b.AddRow(f.Tuple(i), 1)
+		}
+		factors[e] = b.Build()
+	}
+	return &faq.Query[int64]{S: cs, H: q.H, Factors: factors, Free: q.Free, DomSize: q.DomSize}
+}
+
+// solveAll runs the bottom-up pass retaining every node's message —
+// the same per-node work as faq.SolveGHD (joins in fixed child order,
+// innermost-first aggregation), so the retained state is exactly what a
+// from-scratch pass produces.
+func (m *Materialized[T]) solveAll(ctx context.Context) error {
+	nodeRel := make([]*relation.Relation[T], m.g.NumNodes())
+	for e, v := range m.g.NodeOf {
+		if nodeRel[v] == nil {
+			nodeRel[v] = m.q.Factors[e]
+		} else {
+			nodeRel[v] = relation.Join(m.s, nodeRel[v], m.q.Factors[e])
+		}
+	}
+	msgs := make([]*relation.Relation[T], m.g.NumNodes())
+	task := func(v int) error {
+		cur := nodeRel[v]
+		if cur == nil {
+			cur = relation.Unit(m.s, m.s.One())
+		}
+		for _, c := range m.ch[v] {
+			cur = relation.Join(m.s, cur, msgs[c])
+		}
+		cur, err := m.aggregateNode(v, cur)
+		if err != nil {
+			return err
+		}
+		msgs[v] = cur
+		return nil
+	}
+	pool := m.pool
+	if pool == nil {
+		pool = exec.Default()
+	}
+	if err := pool.ForestCtx(ctx, m.g.Parent, task); err != nil {
+		return err
+	}
+	m.nodeRel = nodeRel
+	m.msgs = msgs
+	return nil
+}
+
+// aggregateNode applies node v's aggregation step: keep free variables
+// and (below the root) the parent bag, eliminate everything else
+// innermost-first — identical to the SolveGHD task.
+func (m *Materialized[T]) aggregateNode(v int, cur *relation.Relation[T]) (*relation.Relation[T], error) {
+	var parentBag []int
+	atRoot := v == m.g.Root
+	if !atRoot {
+		parentBag = m.g.Bags[m.g.Parent[v]]
+	}
+	return faq.AggregateOut(m.q, cur, func(x int) bool {
+		return m.free[x] || (!atRoot && hypergraph.ContainsSorted(parentBag, x))
+	})
+}
+
+// Strategy reports how the handle maintains its state.
+func (m *Materialized[T]) Strategy() Strategy {
+	if m.strategy == StrategySupport {
+		return StrategySupport
+	}
+	return m.strategy
+}
+
+// Stats returns the handle's maintenance counters.
+func (m *Materialized[T]) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Updates: m.updates, Recomputes: m.recomputes}
+}
+
+// Answer returns the maintained answer relation — the root message,
+// exactly what faq.SolveGHD would return for the current base
+// relations. The relation is immutable; callers may retain it across
+// updates.
+func (m *Materialized[T]) Answer() (*relation.Relation[T], error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if m.strategy == StrategySupport {
+		if m.boolAnswer == nil {
+			ans, err := m.lift.Answer()
+			if err != nil {
+				return nil, err
+			}
+			m.boolAnswer = oneOf(m.s, ans)
+		}
+		return m.boolAnswer, nil
+	}
+	return m.msgs[m.g.Root], nil
+}
+
+// Factor returns the handle's current view of base relation e (the
+// factors the maintained answer corresponds to).
+func (m *Materialized[T]) Factor(e int) (*relation.Relation[T], error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if e < 0 || e >= len(m.q.Factors) {
+		return nil, fmt.Errorf("delta: factor %d out of range [0,%d)", e, len(m.q.Factors))
+	}
+	if m.strategy == StrategySupport {
+		f, err := m.lift.Factor(e)
+		if err != nil {
+			return nil, err
+		}
+		return oneOf(m.s, f), nil
+	}
+	return m.q.Factors[e], nil
+}
+
+// oneOf maps every listed tuple of c onto the semiring's 1 — the
+// Bool view of a non-negative support count (count > 0 ⇔ true).
+func oneOf[T any, U any](s semiring.Semiring[T], c *relation.Relation[U]) *relation.Relation[T] {
+	b := relation.NewBuilderHint(s, c.Schema(), c.Len())
+	one := s.One()
+	for i := 0; i < c.Len(); i++ {
+		b.AddRow(c.Tuple(i), one)
+	}
+	return b.Build()
+}
+
+// Close releases the handle's retained state. Further Update/Answer
+// calls return ErrClosed. Idempotent.
+func (m *Materialized[T]) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.nodeRel, m.msgs, m.ledgers, m.boolAnswer, m.jidx = nil, nil, nil, nil, nil
+	if m.lift != nil {
+		m.lift.Close()
+	}
+}
+
+// Update applies insert/delete batches and re-answers by propagating
+// deltas up the affected root paths (or recomputing the path's node
+// tasks, per the strategy). The whole call is atomic: on any error —
+// validation, context cancellation, an injected delta.apply fault, a
+// support underflow — the handle is unchanged and remains usable.
+func (m *Materialized[T]) Update(ctx context.Context, batches ...Batch[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.strategy == StrategySupport {
+		lb, err := liftBatches(batches)
+		if err != nil {
+			return err
+		}
+		if err := m.lift.Update(ctx, lb...); err != nil {
+			return err
+		}
+		m.boolAnswer = nil
+		m.updates++
+		return nil
+	}
+	if err := m.validateBatches(batches); err != nil {
+		return err
+	}
+	if err := applySite.Hit(ctx); err != nil {
+		return err
+	}
+	var err error
+	if m.strategy == StrategyRecompute {
+		err = m.applyRecompute(ctx, batches)
+	} else {
+		err = m.applyRing(ctx, batches)
+	}
+	if err != nil {
+		return err
+	}
+	m.updates++
+	if m.strategy == StrategyRecompute {
+		m.recomputes++
+	}
+	return nil
+}
+
+// liftBatches converts Bool batches onto the Count twin: a true tuple
+// is one derivation; false (zero-annotated) tuples are no-ops.
+func liftBatches[T any](batches []Batch[T]) ([]Batch[int64], error) {
+	out := make([]Batch[int64], len(batches))
+	for i, b := range batches {
+		lb := Batch[int64]{Edge: b.Edge}
+		for _, t := range b.Inserts {
+			if tv, ok := any(t.Val).(bool); !ok {
+				return nil, fmt.Errorf("delta: support strategy on non-bool value %v", t.Val)
+			} else if tv {
+				lb.Inserts = append(lb.Inserts, Tuple[int64]{Row: t.Row, Val: 1})
+			}
+		}
+		for _, t := range b.Deletes {
+			if tv, ok := any(t.Val).(bool); !ok {
+				return nil, fmt.Errorf("delta: support strategy on non-bool value %v", t.Val)
+			} else if tv {
+				lb.Deletes = append(lb.Deletes, Tuple[int64]{Row: t.Row, Val: 1})
+			}
+		}
+		out[i] = lb
+	}
+	return out, nil
+}
+
+// validateBatches rejects malformed updates before any state changes:
+// edge indices in range, rows of the factor's arity, values within the
+// domain.
+func (m *Materialized[T]) validateBatches(batches []Batch[T]) error {
+	for bi, b := range batches {
+		if b.Edge < 0 || b.Edge >= m.q.H.NumEdges() {
+			return fmt.Errorf("delta: batch %d edge %d out of range [0,%d)", bi, b.Edge, m.q.H.NumEdges())
+		}
+		arity := len(m.q.H.Edge(b.Edge))
+		check := func(kind string, ts []Tuple[T]) error {
+			for ti, t := range ts {
+				if len(t.Row) != arity {
+					return fmt.Errorf("delta: batch %d %s %d arity %d != edge arity %d", bi, kind, ti, len(t.Row), arity)
+				}
+				for _, x := range t.Row {
+					if x < 0 || x >= m.q.DomSize {
+						return fmt.Errorf("delta: batch %d %s %d value %d outside domain [0,%d)", bi, kind, ti, x, m.q.DomSize)
+					}
+				}
+			}
+			return nil
+		}
+		if err := check("insert", b.Inserts); err != nil {
+			return err
+		}
+		if err := check("delete", b.Deletes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaFactor folds one batch into a single delta relation over the
+// edge schema: inserts with their values, deletes with the ⊕-inverse.
+// The builder ⊕-merges duplicates and drops exact zeros, so an
+// insert/delete pair of the same tuple cancels before any propagation.
+func (m *Materialized[T]) deltaFactor(b Batch[T]) *relation.Relation[T] {
+	schema := m.q.H.Edge(b.Edge)
+	bld := relation.NewBuilderHint(m.s, schema, len(b.Inserts)+len(b.Deletes))
+	for _, t := range b.Inserts {
+		bld.Add(t.Row, t.Val)
+	}
+	for _, t := range b.Deletes {
+		bld.Add(t.Row, m.neg(t.Val))
+	}
+	return bld.Build()
+}
+
+// patchMax bounds the delta sizes eligible for relation.PatchAdd's
+// copy-on-write value-patch fast path; larger deltas take the plain
+// linear merge, whose cost they already amortize.
+const patchMax = 128
+
+// applyRing stages and commits one ring-strategy update: per batch,
+// fold the delta into the base factor with PatchAdd (MergeAdd with a
+// point fast path), then walk the
+// edge's node path to the root propagating Δmsg — joining the delta
+// first (it is small, so every intermediate stays small), then the
+// node's own relation and the unchanged sibling messages, aggregating
+// with the node's own keep set, and ⊕-merging into the retained
+// message. Propagation stops early when a Δmsg cancels to empty.
+func (m *Materialized[T]) applyRing(ctx context.Context, batches []Batch[T]) error {
+	factors := append([]*relation.Relation[T](nil), m.q.Factors...)
+	nodeRel := append([]*relation.Relation[T](nil), m.nodeRel...)
+	msgs := append([]*relation.Relation[T](nil), m.msgs...)
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := m.deltaFactor(b)
+		if d.Len() == 0 {
+			continue
+		}
+		nf, err := relation.PatchAdd(m.s, factors[b.Edge], d, patchMax)
+		if err != nil {
+			return err
+		}
+		if m.nonNegative {
+			for i := 0; i < d.Len(); i++ {
+				if v, ok := relation.LookupRow(nf, d.Tuple(i)); ok && isNegative(m.s, v) {
+					return fmt.Errorf("delta: tuple %v on edge %d: %w", d.Tuple(i), b.Edge, ErrNegativeSupport)
+				}
+			}
+		}
+		factors[b.Edge] = nf
+		u := m.g.NodeOf[b.Edge]
+		// Node-local delta: join the factor delta with the node's other
+		// designated factors (unchanged in this batch, so the product's
+		// delta is Join(Δ, siblings) by distributivity). Multi-factor
+		// nodes exist only at a fat core root (cyclic shapes).
+		dn := d
+		if len(m.edgesAt[u]) > 1 {
+			for _, e := range m.edgesAt[u] {
+				if e != b.Edge {
+					dn = relation.Join(m.s, dn, factors[e])
+				}
+			}
+			var cur *relation.Relation[T]
+			for _, e := range m.edgesAt[u] {
+				if cur == nil {
+					cur = factors[e]
+				} else {
+					cur = relation.Join(m.s, cur, factors[e])
+				}
+			}
+			nodeRel[u] = cur
+		} else {
+			nodeRel[u] = nf
+		}
+		// Walk the root path. from == -1 means the delta replaces the
+		// node's own factor slot; otherwise it replaces child `from`'s
+		// message and the node's relation joins in.
+		dcur, v, from := dn, u, -1
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cur := dcur
+			if from != -1 && nodeRel[v] != nil {
+				cur = m.joinAt([3]int32{0, int32(v), int32(from)}, cur, nodeRel[v])
+			}
+			for _, c := range m.ch[v] {
+				if c != from {
+					cur = m.joinAt([3]int32{1, int32(v), int32(c)}, cur, msgs[c])
+				}
+			}
+			dm, err := m.aggregateNode(v, cur)
+			if err != nil {
+				return err
+			}
+			nm, err := relation.PatchAdd(m.s, msgs[v], dm, patchMax)
+			if err != nil {
+				return err
+			}
+			msgs[v] = nm
+			if dm.Len() == 0 || v == m.g.Root {
+				break
+			}
+			dcur, from, v = dm, v, m.g.Parent[v]
+		}
+	}
+	m.q.Factors, m.nodeRel, m.msgs = factors, nodeRel, msgs
+	return nil
+}
+
+// joinAt joins a small delta against one retained relation through the
+// site's cached hash index, building (or rebuilding) the index when the
+// retained side's row buffer changed since the last update. Large
+// deltas amortize a one-shot Join on their own and skip the cache.
+func (m *Materialized[T]) joinAt(site [3]int32, small, big *relation.Relation[T]) *relation.Relation[T] {
+	if small.Len() > patchMax {
+		return relation.Join(m.s, small, big)
+	}
+	shared := hypergraph.IntersectSorted(small.Schema(), big.Schema())
+	ix := m.jidx[site]
+	if !relation.IndexValidFor(ix, big, shared) {
+		ix = relation.BuildHashIndex(big, shared)
+		if ix == nil {
+			return relation.Join(m.s, small, big)
+		}
+		m.jidx[site] = ix
+	}
+	return relation.JoinIndexed(m.s, small, big, ix)
+}
+
+// isNegative reports a negative annotation (only meaningful for the
+// Count support twin).
+func isNegative[T any](s semiring.Semiring[T], v T) bool {
+	if c, ok := any(v).(int64); ok {
+		return c < 0
+	}
+	return false
+}
+
+// applyRecompute stages and commits one recompute-strategy update: per
+// batch, fold the inserts/deletes into the edge's contribution ledger
+// (copy-on-write), rebuild the factor by ⊕-folding each tuple's
+// contributions, and re-run the full node task for every node on the
+// edge's root path against the staged state. Sibling subtrees'
+// messages depend only on their own factors and are reused untouched —
+// the documented O(path × node) fallback for idempotent ⊕.
+func (m *Materialized[T]) applyRecompute(ctx context.Context, batches []Batch[T]) error {
+	factors := append([]*relation.Relation[T](nil), m.q.Factors...)
+	nodeRel := append([]*relation.Relation[T](nil), m.nodeRel...)
+	msgs := append([]*relation.Relation[T](nil), m.msgs...)
+	ledgers := append([]*ledger[T](nil), m.ledgers...)
+	staged := make([]bool, len(ledgers))
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lg := ledgers[b.Edge]
+		if !staged[b.Edge] {
+			lg = lg.clone()
+			ledgers[b.Edge] = lg
+			staged[b.Edge] = true
+		}
+		for _, t := range b.Inserts {
+			lg.insert(t.Row, t.Val)
+		}
+		for _, t := range b.Deletes {
+			if !lg.remove(m.s, t.Row, t.Val) {
+				return fmt.Errorf("delta: tuple %v value %s on edge %d: %w", t.Row, m.s.Format(t.Val), b.Edge, ErrNoSuchTuple)
+			}
+		}
+		factors[b.Edge] = lg.build(m.s, m.q.H.Edge(b.Edge))
+		u := m.g.NodeOf[b.Edge]
+		var cur *relation.Relation[T]
+		for _, e := range m.edgesAt[u] {
+			if cur == nil {
+				cur = factors[e]
+			} else {
+				cur = relation.Join(m.s, cur, factors[e])
+			}
+		}
+		nodeRel[u] = cur
+		for v := u; ; v = m.g.Parent[v] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cur := nodeRel[v]
+			if cur == nil {
+				cur = relation.Unit(m.s, m.s.One())
+			}
+			for _, c := range m.ch[v] {
+				cur = relation.Join(m.s, cur, msgs[c])
+			}
+			nm, err := m.aggregateNode(v, cur)
+			if err != nil {
+				return err
+			}
+			msgs[v] = nm
+			if v == m.g.Root {
+				break
+			}
+		}
+	}
+	m.q.Factors, m.nodeRel, m.msgs, m.ledgers = factors, nodeRel, msgs, ledgers
+	return nil
+}

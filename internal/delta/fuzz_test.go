@@ -1,0 +1,173 @@
+package delta_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/delta/churn"
+	"repro/internal/faq"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+// fuzzTpl is a deliberately tiny shape (two chained edges, domain 4) so
+// the fuzzer's byte budget reaches deep op sequences.
+var fuzzTpl = workload.Template{Name: "fuzz-path", Spec: "X,Y;Y,Z", Free: []string{"X"}}
+
+const fuzzDom = 4
+
+// fuzzDrive decodes data as an op stream against one semiring: chunks
+// of 3 bytes [op, a, b] where op%4 picks insert (0,1), delete-live (2),
+// or delete-arbitrary (3); a and b choose edge, row, and value. After
+// every op the materialized answer must equal a from-scratch solve over
+// the independently maintained model; illegal deletes must fail with
+// the documented typed error and leave the handle unchanged.
+func fuzzDrive[T any](t *testing.T, s semiring.Semiring[T], data []byte,
+	valOf func(byte) T, ringDeletes bool, wantDeleteErr error) {
+	t.Helper()
+	ctx := context.Background()
+	q, err := churn.BuildQuery(s, fuzzTpl, fuzzDom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := churn.NewModel(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := delta.Materialize(ctx, q, model.GHD(), delta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	check := func(step int) {
+		got, err := m.Answer()
+		if err != nil {
+			t.Fatalf("step %d: Answer: %v", step, err)
+		}
+		want, err := model.Solve()
+		if err != nil {
+			t.Fatalf("step %d: reference solve: %v", step, err)
+		}
+		if !relation.Equal(s, got, want) {
+			t.Fatalf("step %d: materialized %v != rebuild %v", step, got, want)
+		}
+	}
+	check(0)
+
+	numEdges := q.H.NumEdges()
+	for i := 0; i+2 < len(data); i += 3 {
+		op, a, b := data[i], data[i+1], data[i+2]
+		e := int(op/4) % numEdges
+		arity := len(q.H.Edge(e))
+		row := make([]int, arity)
+		row[0] = int(a) % fuzzDom
+		if arity > 1 {
+			row[1] = int(b) % fuzzDom
+		}
+		val := valOf(b)
+		switch op % 4 {
+		case 0, 1: // insert
+			model.Insert(e, row, val)
+			if err := m.Update(ctx, delta.Batch[T]{Edge: e, Inserts: []delta.Tuple[T]{{Row: row, Val: val}}}); err != nil {
+				t.Fatalf("step %d: insert: %v", i, err)
+			}
+		case 2: // delete a live contribution
+			if model.Live(e) == 0 {
+				continue
+			}
+			lrow, lval := model.Contribution(e, int(a)%model.Live(e))
+			if !model.TryDelete(e, lrow, lval) {
+				t.Fatalf("step %d: model lost its own contribution", i)
+			}
+			if err := m.Update(ctx, delta.Batch[T]{Edge: e, Deletes: []delta.Tuple[T]{{Row: lrow, Val: lval}}}); err != nil {
+				t.Fatalf("step %d: live delete: %v", i, err)
+			}
+		case 3: // arbitrary delete, possibly of nothing
+			if ringDeletes {
+				// Ring semirings accept any delete: it ⊕-adds the
+				// inverse (over-deletes leave negative annotations).
+				if err := model.RingDelete(e, row, val); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Update(ctx, delta.Batch[T]{Edge: e, Deletes: []delta.Tuple[T]{{Row: row, Val: val}}}); err != nil {
+					t.Fatalf("step %d: ring delete: %v", i, err)
+				}
+				break
+			}
+			live := model.TryDelete(e, row, val)
+			err := m.Update(ctx, delta.Batch[T]{Edge: e, Deletes: []delta.Tuple[T]{{Row: row, Val: val}}})
+			if live && err != nil {
+				t.Fatalf("step %d: delete of a live contribution failed: %v", i, err)
+			}
+			if !live && !errors.Is(err, wantDeleteErr) {
+				t.Fatalf("step %d: illegal delete error = %v, want %v", i, err, wantDeleteErr)
+			}
+		}
+		check(i + 1)
+	}
+}
+
+// FuzzDeltaApply feeds byte-decoded insert/delete sequences through all
+// three maintenance strategies (ring via Count, recompute via MinPlus,
+// support via Bool): the handle must never panic and never diverge from
+// a from-scratch rebuild, and illegal deletes must fail typed.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 1, 2})
+	f.Add([]byte{1, 0, 1, 2, 2, 2, 0, 1, 1, 2, 0, 1, 3, 0, 1})
+	f.Add([]byte{2, 4, 2, 3, 6, 1, 1, 7, 2, 2, 3, 3, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		ops := data[1:]
+		switch data[0] % 3 {
+		case 0:
+			fuzzDrive[int64](t, semiring.Count{}, ops,
+				func(b byte) int64 { return int64(b%5) - 2 }, true, nil)
+		case 1:
+			fuzzDrive[float64](t, semiring.MinPlus{}, ops,
+				func(b byte) float64 { return float64(b % 6) }, false, delta.ErrNoSuchTuple)
+		case 2:
+			fuzzDrive[bool](t, semiring.Bool{}, ops,
+				func(byte) bool { return true }, false, delta.ErrNegativeSupport)
+		}
+	})
+}
+
+// TestFuzzSeedsDeterministic replays the committed corpus shapes as a
+// plain test, so the differential harness runs even when the fuzz
+// engine is skipped (e.g. -run excludes fuzz targets in CI).
+func TestFuzzSeedsDeterministic(t *testing.T) {
+	seeds := [][]byte{
+		{0, 0, 0, 1, 1, 2, 8, 3, 0, 3, 2, 1, 11, 0, 4},
+		{1, 0, 1, 2, 2, 2, 0, 1, 1, 2, 0, 1, 3, 0, 1, 15, 2, 2},
+		{2, 4, 2, 3, 6, 1, 1, 7, 2, 2, 3, 3, 3, 0, 0, 7, 1, 1},
+	}
+	for _, data := range seeds {
+		ops := data[1:]
+		switch data[0] % 3 {
+		case 0:
+			fuzzDrive[int64](t, semiring.Count{}, ops,
+				func(b byte) int64 { return int64(b%5) - 2 }, true, nil)
+		case 1:
+			fuzzDrive[float64](t, semiring.MinPlus{}, ops,
+				func(b byte) float64 { return float64(b % 6) }, false, delta.ErrNoSuchTuple)
+		case 2:
+			fuzzDrive[bool](t, semiring.Bool{}, ops,
+				func(byte) bool { return true }, false, delta.ErrNegativeSupport)
+		}
+	}
+	// Sanity: the fuzz shape plans to a two-node path GHD.
+	q, err := churn.BuildQuery(semiring.Count{}, fuzzTpl, fuzzDom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faq.PlanGHD(q.H, q.Free); err != nil {
+		t.Fatal(err)
+	}
+}

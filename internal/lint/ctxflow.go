@@ -18,6 +18,7 @@ type CtxFlowConfig struct {
 func DefaultCtxFlowConfig() CtxFlowConfig {
 	return CtxFlowConfig{Packages: []string{
 		"repro/internal/service",
+		"repro/internal/delta",
 		"repro/internal/exec",
 		"repro/faqs",
 		"repro/cmd/faqd",

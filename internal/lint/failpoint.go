@@ -26,6 +26,7 @@ func DefaultFailpointConfig() FailpointConfig {
 	return FailpointConfig{
 		ChaosPackages: []string{
 			"repro/internal/service",
+			"repro/internal/delta",
 			"repro/internal/relation",
 			"repro/internal/protocol",
 			"repro/internal/exec",

@@ -24,6 +24,7 @@ func DefaultMapIterConfig() MapIterConfig {
 	return MapIterConfig{
 		Packages: []string{
 			"repro/internal/protocol",
+			"repro/internal/delta",
 			"repro/internal/netsim",
 			"repro/internal/plan",
 			"repro/internal/exec",

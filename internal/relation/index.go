@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/keys"
+	"repro/internal/semiring"
+)
+
+// HashIndex is a reusable build side of the hash join: joinHash's
+// chain map (packed shared-column key → row chain) pinned to the exact
+// row buffer it indexed. PatchAdd-produced relations share their
+// input's row buffer, so a standing view (internal/delta) can probe
+// one index across any number of value-only updates and rebuild it
+// only when a fallback merge rewrites the rows — turning the O(|b|)
+// build side of every point-delta join into a one-time cost.
+type HashIndex struct {
+	shared []int
+	head   map[uint64]int32
+	next   []int32
+	rows   []int32 // identity of the indexed buffer
+}
+
+// BuildHashIndex indexes b's rows on the given shared variables (a
+// sorted subset of b's schema). Returns nil when there is nothing to
+// index or the key does not pack into a uint64 (arity > keys.MaxPacked
+// — the documented off-hot-path case); callers fall back to the
+// one-shot Join.
+func BuildHashIndex[T any](b *Relation[T], shared []int) *HashIndex {
+	if len(shared) == 0 || len(shared) > keys.MaxPacked || b.Len() == 0 {
+		return nil
+	}
+	bCols, err := columnsOf(b.schema, shared)
+	if err != nil {
+		return nil
+	}
+	nb := b.Len()
+	head := make(map[uint64]int32, nb)
+	next := make([]int32, nb)
+	for i := nb - 1; i >= 0; i-- {
+		k := keys.PackCols(b.Tuple(i), bCols)
+		if h, ok := head[k]; ok {
+			next[i] = h
+		} else {
+			next[i] = -1
+		}
+		head[k] = int32(i)
+	}
+	return &HashIndex{shared: append([]int(nil), shared...), head: head, next: next, rows: b.rows}
+}
+
+// IndexValidFor reports whether ix still serves joins against b on the
+// given shared variables: the same key columns over the identical row
+// buffer. Value-only updates (PatchAdd fast path) keep an index valid;
+// any merge that allocates new rows invalidates it.
+func IndexValidFor[T any](ix *HashIndex, b *Relation[T], shared []int) bool {
+	if ix == nil || len(ix.rows) != len(b.rows) {
+		return false
+	}
+	if len(b.rows) != 0 && &ix.rows[0] != &b.rows[0] {
+		return false
+	}
+	if len(ix.shared) != len(shared) {
+		return false
+	}
+	for i := range shared {
+		if ix.shared[i] != shared[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinIndexed returns Join(s, a, b), probing a prebuilt index of b
+// instead of building a fresh hash side: O(|a| · fanout) per call.
+// The emission order matches joinHash's probe loop and the result is
+// canonicalized by the same Builder, so the output is bit-identical to
+// Join's; an index that no longer serves b (or never packed) falls
+// back to the one-shot Join.
+func JoinIndexed[T any](s semiring.Semiring[T], a, b *Relation[T], ix *HashIndex) *Relation[T] {
+	shared := hypergraph.IntersectSorted(a.schema, b.schema)
+	if !IndexValidFor(ix, b, shared) {
+		return Join(s, a, b)
+	}
+	joinSite.Inject()
+	outSchema := hypergraph.UnionSorted(a.schema, b.schema)
+	srcs := outputSrcs(outSchema, a.schema, b.schema)
+	aCols, _ := columnsOf(a.schema, shared)
+	na := a.Len()
+	out := NewBuilderHint(s, outSchema, maxLen(na, 16))
+	scratch := make([]int32, len(outSchema))
+	for i := 0; i < na; i++ {
+		h, ok := ix.head[keys.PackCols(a.Tuple(i), aCols)]
+		if !ok {
+			continue
+		}
+		ta := a.Tuple(i)
+		for j := h; j >= 0; j = ix.next[j] {
+			v := s.Mul(a.vals[i], b.vals[j])
+			if s.IsZero(v) {
+				continue
+			}
+			tb := b.Tuple(int(j))
+			for k, sc := range srcs {
+				if sc.fromA {
+					scratch[k] = ta[sc.col]
+				} else {
+					scratch[k] = tb[sc.col]
+				}
+			}
+			out.AddRow(scratch, v)
+		}
+	}
+	return out.Build()
+}

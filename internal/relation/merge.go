@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// MergeAdd returns a ⊕ b pointwise: the relation whose annotation on
+// every tuple is s.Add of the operands' annotations (absent tuples are
+// zeros, per the listing representation). Both operands must share the
+// same schema. Tuples whose merged annotation is the semiring's 0 are
+// dropped, preserving the invariant that relations never store
+// zero-annotated tuples — so for exact semirings the result is
+// bit-identical to rebuilding the combined relation from scratch.
+//
+// This is the commit kernel of incremental maintenance
+// (internal/delta): new state = MergeAdd(old state, delta). The merge
+// is a single linear pass over the two sorted row buffers, O(|a|+|b|),
+// with no re-sort.
+func MergeAdd[T any](s semiring.Semiring[T], a, b *Relation[T]) (*Relation[T], error) {
+	if len(a.schema) != len(b.schema) {
+		return nil, fmt.Errorf("relation: MergeAdd schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	for i := range a.schema {
+		if a.schema[i] != b.schema[i] {
+			return nil, fmt.Errorf("relation: MergeAdd schema mismatch %v vs %v", a.schema, b.schema)
+		}
+	}
+	if b.Len() == 0 {
+		return a, nil
+	}
+	if a.Len() == 0 {
+		return b, nil
+	}
+	w := len(a.schema)
+	if w == 0 {
+		v := s.Add(a.vals[0], b.vals[0])
+		if s.IsZero(v) {
+			return &Relation[T]{schema: a.schema}, nil
+		}
+		return &Relation[T]{schema: a.schema, vals: []T{v}}, nil
+	}
+	na, nb := a.Len(), b.Len()
+	rows := make([]int32, 0, (na+nb)*w)
+	vals := make([]T, 0, na+nb)
+	cmp := func(x, y []int32) int {
+		for k := 0; k < w; k++ {
+			if x[k] != y[k] {
+				if x[k] < y[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	i, j := 0, 0
+	for i < na && j < nb {
+		ta, tb := a.Tuple(i), b.Tuple(j)
+		switch cmp(ta, tb) {
+		case -1:
+			rows = append(rows, ta...)
+			vals = append(vals, a.vals[i])
+			i++
+		case 1:
+			rows = append(rows, tb...)
+			vals = append(vals, b.vals[j])
+			j++
+		default:
+			if v := s.Add(a.vals[i], b.vals[j]); !s.IsZero(v) {
+				rows = append(rows, ta...)
+				vals = append(vals, v)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < na; i++ {
+		rows = append(rows, a.Tuple(i)...)
+		vals = append(vals, a.vals[i])
+	}
+	for ; j < nb; j++ {
+		rows = append(rows, b.Tuple(j)...)
+		vals = append(vals, b.vals[j])
+	}
+	return fromSorted(a.schema, rows, vals), nil
+}
+
+// PatchAdd returns a ⊕ b with the same contract as MergeAdd, through a
+// point fast path: when b is small (at most maxPatch rows) and every b
+// row is already listed in a with a non-zero merged annotation, the
+// result shares a's row buffer unchanged and patches a copy of the
+// values — O(|b| log |a|) probes plus one values copy instead of the
+// full O(|a|+|b|) row merge. Any miss (a genuinely new tuple, or a
+// merge that cancels to the semiring's 0 and must be dropped to keep
+// the listing invariant) falls back to MergeAdd, so the result is
+// always bit-identical to MergeAdd's. Relations are immutable after
+// construction, which makes sharing a's rows safe; a is never
+// modified, so previously returned references stay consistent.
+//
+// This is what makes ring-strategy point updates sub-merge cost: the
+// steady-state delta touches keys the retained factor and messages
+// already list, and only their annotations move.
+func PatchAdd[T any](s semiring.Semiring[T], a, b *Relation[T], maxPatch int) (*Relation[T], error) {
+	if b.Len() == 0 || b.Len() > maxPatch || a.Len() < b.Len() || len(a.schema) == 0 ||
+		len(a.schema) != len(b.schema) {
+		return MergeAdd(s, a, b)
+	}
+	for i := range a.schema {
+		if a.schema[i] != b.schema[i] {
+			return MergeAdd(s, a, b) // reports the mismatch
+		}
+	}
+	type patch struct {
+		idx int
+		val T
+	}
+	patches := make([]patch, 0, b.Len())
+	for j := 0; j < b.Len(); j++ {
+		idx, ok := lookupIdx(a, b.Tuple(j))
+		if !ok {
+			return MergeAdd(s, a, b)
+		}
+		v := s.Add(a.vals[idx], b.vals[j])
+		if s.IsZero(v) {
+			return MergeAdd(s, a, b)
+		}
+		patches = append(patches, patch{idx: idx, val: v})
+	}
+	vals := append([]T(nil), a.vals...)
+	for _, p := range patches {
+		vals[p.idx] = p.val
+	}
+	return &Relation[T]{schema: a.schema, rows: a.rows, vals: vals}, nil
+}
+
+// LookupRow returns the annotation of the given row (in sorted-schema
+// column order) and whether it is listed, by binary search over the
+// sorted row buffer — the point probe incremental maintenance uses to
+// audit individual delta rows without a scan.
+func LookupRow[T any](r *Relation[T], row []int32) (T, bool) {
+	var zero T
+	if i, ok := lookupIdx(r, row); ok {
+		return r.vals[i], true
+	}
+	return zero, false
+}
+
+// lookupIdx binary-searches the sorted row buffer for row, returning
+// its position.
+func lookupIdx[T any](r *Relation[T], row []int32) (int, bool) {
+	w := len(r.schema)
+	if len(row) != w || w == 0 {
+		return 0, false
+	}
+	lo, hi := 0, r.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t := r.Tuple(mid)
+		c := 0
+		for k := 0; k < w; k++ {
+			if t[k] != row[k] {
+				if t[k] < row[k] {
+					c = -1
+				} else {
+					c = 1
+				}
+				break
+			}
+		}
+		switch c {
+		case -1:
+			lo = mid + 1
+		case 1:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return 0, false
+}

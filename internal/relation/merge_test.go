@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+// rebuildAdd is the from-scratch oracle: feed every tuple of both
+// operands through a fresh Builder and let Build ⊕-merge and drop
+// zeros.
+func rebuildAdd[T any](s semiring.Semiring[T], a, b *Relation[T]) *Relation[T] {
+	bld := NewBuilderHint(s, a.Schema(), a.Len()+b.Len())
+	for i := 0; i < a.Len(); i++ {
+		bld.AddRow(a.Tuple(i), a.Value(i))
+	}
+	for i := 0; i < b.Len(); i++ {
+		bld.AddRow(b.Tuple(i), b.Value(i))
+	}
+	return bld.Build()
+}
+
+func TestMergeAddMatchesRebuild(t *testing.T) {
+	s := semiring.Count{}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		schema := []int{0, 1, 2}[:1+rng.Intn(3)]
+		mk := func(n int) *Relation[int64] {
+			b := NewBuilder(s, schema)
+			for i := 0; i < n; i++ {
+				row := make([]int, len(schema))
+				for k := range row {
+					row[k] = rng.Intn(5)
+				}
+				// Values in [-2, 2] so ⊕-merges cancel to exact zero often,
+				// exercising the zero-drop path.
+				b.Add(row, int64(rng.Intn(5)-2))
+			}
+			return b.Build()
+		}
+		a, c := mk(rng.Intn(20)), mk(rng.Intn(20))
+		got, err := MergeAdd(s, a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rebuildAdd(s, a, c)
+		if !Equal(s, got, want) {
+			t.Fatalf("trial %d: MergeAdd diverges from rebuild: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMergeAddScalarAndEmpty(t *testing.T) {
+	s := semiring.Count{}
+	u3 := Unit(s, int64(3))
+	um3 := Unit(s, int64(-3))
+	sum, err := MergeAdd(s, u3, um3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Len() != 0 {
+		t.Fatalf("3 ⊕ -3 should cancel to the empty scalar, got len %d", sum.Len())
+	}
+	empty := Empty[int64]([]int{0, 1})
+	b := NewBuilder(s, []int{0, 1})
+	b.Add([]int{1, 2}, 5)
+	r := b.Build()
+	if got, err := MergeAdd(s, empty, r); err != nil || !Equal(s, got, r) {
+		t.Fatalf("empty ⊕ r != r (err %v)", err)
+	}
+	if got, err := MergeAdd(s, r, empty); err != nil || !Equal(s, got, r) {
+		t.Fatalf("r ⊕ empty != r (err %v)", err)
+	}
+	if _, err := MergeAdd(s, r, Empty[int64]([]int{0})); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+func TestLookupRow(t *testing.T) {
+	s := semiring.Count{}
+	b := NewBuilder(s, []int{0, 1})
+	b.Add([]int{1, 2}, 5)
+	b.Add([]int{3, 1}, 7)
+	b.Add([]int{0, 0}, 2)
+	r := b.Build()
+	if v, ok := LookupRow(r, []int32{3, 1}); !ok || v != 7 {
+		t.Fatalf("LookupRow(3,1) = %d,%v want 7,true", v, ok)
+	}
+	if v, ok := LookupRow(r, []int32{0, 0}); !ok || v != 2 {
+		t.Fatalf("LookupRow(0,0) = %d,%v want 2,true", v, ok)
+	}
+	if _, ok := LookupRow(r, []int32{2, 2}); ok {
+		t.Fatal("LookupRow on an unlisted tuple must report false")
+	}
+	if _, ok := LookupRow(r, []int32{1}); ok {
+		t.Fatal("LookupRow with wrong arity must report false")
+	}
+}

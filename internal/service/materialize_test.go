@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/faq"
+	"repro/internal/fault"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/semiring"
+)
+
+// TestServiceMaterialize pins the serving contract of the incremental
+// path: plan reuse, answers bit-identical to Solve across updates, and
+// the updates counter.
+func TestServiceMaterialize(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	q := countQuery(t, pathEdges, 5, 60, 8, []int{0}, 77)
+
+	mz, info, err := sv.Materialize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mz.Close()
+	if info.Fallback {
+		t.Fatal("path query must not be a fallback shape")
+	}
+	want, _, err := sv.Solve(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mz.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(got, want) {
+		t.Fatal("materialized answer differs from Solve")
+	}
+
+	// Apply an update; the handle must track a re-solve of the mutated
+	// query bit-identically.
+	if err := mz.Update(context.Background(), delta.Batch[int64]{
+		Edge: 0, Inserts: []delta.Tuple[int64]{{Row: []int{7, 7}, Val: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := countQuery(t, pathEdges, 5, 60, 8, []int{0}, 77)
+	b := relation.NewBuilder[int64](semiring.Count{}, q2.H.Edge(0))
+	f := q2.Factors[0]
+	for i := 0; i < f.Len(); i++ {
+		b.AddRow(f.Tuple(i), f.Value(i))
+	}
+	b.Add([]int{7, 7}, 2)
+	q2.Factors[0] = b.Build()
+	want2, _, err := sv.Solve(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := mz.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(got2, want2) {
+		t.Fatal("updated answer differs from re-solve")
+	}
+
+	st := sv.Stats()
+	if st.Updates != 1 {
+		t.Fatalf("updates = %d, want 1", st.Updates)
+	}
+	if st.DeltaFallbacks != 0 {
+		t.Fatalf("count is a ring strategy; delta_fallbacks = %d, want 0", st.DeltaFallbacks)
+	}
+}
+
+// TestServiceMaterializeFallbackCounter pins that recompute-strategy
+// updates increment delta_fallbacks.
+func TestServiceMaterializeFallbackCounter(t *testing.T) {
+	sv := New[float64](semiring.MinPlus{}, "minplus", plan.NewCache(8))
+	h := hypergraph.New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	s := semiring.MinPlus{}
+	factors := make([]*relation.Relation[float64], 2)
+	for e := range factors {
+		b := relation.NewBuilder(s, h.Edge(e))
+		for i := 0; i < 4; i++ {
+			b.Add([]int{i, i}, float64(i))
+		}
+		factors[e] = b.Build()
+	}
+	q := &faq.Query[float64]{S: s, H: h, Factors: factors, Free: []int{0}, DomSize: 8}
+
+	mz, _, err := sv.Materialize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mz.Close()
+	if mz.Strategy() != delta.StrategyRecompute {
+		t.Fatalf("minplus strategy = %v, want recompute", mz.Strategy())
+	}
+	for i := 0; i < 3; i++ {
+		if err := mz.Update(context.Background(), delta.Batch[float64]{
+			Edge: 1, Inserts: []delta.Tuple[float64]{{Row: []int{i, i + 1}, Val: 1}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sv.Stats()
+	if st.Updates != 3 || st.DeltaFallbacks != 3 {
+		t.Fatalf("updates/delta_fallbacks = %d/%d, want 3/3", st.Updates, st.DeltaFallbacks)
+	}
+}
+
+// TestServiceMaterializeFallbackShape pins the typed rejection of
+// unmaintainable (brute-force fallback) shapes.
+func TestServiceMaterializeFallbackShape(t *testing.T) {
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	// Free variables at both ends of a path: no single root bag covers
+	// them, so planning falls back to brute force.
+	q := countQuery(t, pathEdges, 5, 20, 6, []int{0, 4}, 3)
+	_, _, err := sv.Materialize(context.Background(), q)
+	if !errors.Is(err, faq.ErrFreeOutsideRoot) {
+		t.Fatalf("err = %v, want ErrFreeOutsideRoot", err)
+	}
+	if st := sv.Stats(); st.Rejected == 0 {
+		t.Fatalf("fallback-shape materialization must count as rejected: %+v", st)
+	}
+}
+
+// TestChaosServiceMaterializeUpdatePanic pins the resilience
+// envelope: an injected panic inside an update surfaces as a typed
+// internal error and the handle remains usable.
+func TestChaosServiceMaterializeUpdatePanic(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	sv := New[int64](semiring.Count{}, "count", plan.NewCache(8))
+	q := countQuery(t, pathEdges, 5, 40, 8, []int{0}, 11)
+	mz, _, err := sv.Materialize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mz.Close()
+	base, err := mz.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable("delta.apply", fault.Config{Mode: fault.ModePanic, Once: true})
+	uerr := mz.Update(context.Background(), delta.Batch[int64]{
+		Edge: 0, Inserts: []delta.Tuple[int64]{{Row: []int{1, 1}, Val: 1}},
+	})
+	if !errors.Is(uerr, ErrInternal) {
+		t.Fatalf("panic in update = %v, want ErrInternal", uerr)
+	}
+	got, err := mz.Answer()
+	if err != nil || !bitIdentical(got, base) {
+		t.Fatalf("faulted update must roll back (err %v)", err)
+	}
+	if st := sv.Stats(); st.Updates != 0 || st.Panics != 1 {
+		t.Fatalf("stats after contained panic: %+v", st)
+	}
+
+	fault.Reset()
+	if err := mz.Update(context.Background(), delta.Batch[int64]{
+		Edge: 0, Inserts: []delta.Tuple[int64]{{Row: []int{1, 1}, Val: 1}},
+	}); err != nil {
+		t.Fatalf("handle unusable after contained panic: %v", err)
+	}
+	if st := sv.Stats(); st.Updates != 1 {
+		t.Fatalf("updates = %d, want 1", st.Updates)
+	}
+}

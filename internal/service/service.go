@@ -120,6 +120,8 @@ type Service[T any] struct {
 	shed             atomic.Int64
 	deadlineExceeded atomic.Int64
 	panics           atomic.Int64
+	updates          atomic.Int64
+	deltaFallbacks   atomic.Int64
 }
 
 // New returns a service over semiring s. name namespaces the cache keys
@@ -159,6 +161,8 @@ type Stats struct {
 	Shed             int64  `json:"shed"`              // in-flight gate rejections
 	DeadlineExceeded int64  `json:"deadline_exceeded"` // per-request deadline hits
 	Panics           int64  `json:"panics"`            // panics recovered to ErrInternal
+	Updates          int64  `json:"updates"`           // materialized-handle update batches applied
+	DeltaFallbacks   int64  `json:"delta_fallbacks"`   // updates served by per-node recompute fallback
 }
 
 // Stats returns the current counters.
@@ -173,6 +177,8 @@ func (sv *Service[T]) Stats() Stats {
 		Shed:             sv.shed.Load(),
 		DeadlineExceeded: sv.deadlineExceeded.Load(),
 		Panics:           sv.panics.Load(),
+		Updates:          sv.updates.Load(),
+		DeltaFallbacks:   sv.deltaFallbacks.Load(),
 	}
 }
 
