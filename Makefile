@@ -29,12 +29,16 @@
 #                 answer verified against per-request planning)
 #   make smoke-service — tiny-n end-to-end smoke of faqd + faqload over
 #                 HTTP (wired into CI)
+#   make smoke-metrics — boot faqd, drive 20 requests, and gate the
+#                 /metrics exposition: faqload's -url mode strict-parses
+#                 the scrape at each phase boundary and fails unless the
+#                 key series moved (part of `make check` and CI)
 #   make examples — build and run every examples/ program (all are
 #                 clients of the public faqs façade; wired into CI)
 #   make lint   — faqlint, the repo's static-analysis suite
-#                 (internal/lint): six analyzers compiling the standing
+#                 (internal/lint): seven analyzers compiling the standing
 #                 contracts — facade, nopanic, mapiter, ctxflow,
-#                 hotpath, failpoint — into build failures; zero
+#                 hotpath, failpoint, metricreg — into build failures; zero
 #                 unsuppressed findings required (part of `make check`)
 #   make vet-imports — alias for the facade analyzer alone (the former
 #                 shell-grep target; the faqbench/faqload/ghdtool
@@ -53,11 +57,12 @@ GO        ?= go
 BENCHTIME ?= 0.5s
 FUZZTIME  ?= 30s
 SMOKEADDR ?= 127.0.0.1:18080
+METRICSADDR ?= 127.0.0.1:18081
 
 # The packages holding the parallel≡sequential equivalence suites.
 WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./internal/delta/ ./internal/delta/churn/ ./faqs/
 
-.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-incremental bench-all fuzz test-workers bench-service smoke-service examples
+.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-incremental bench-all fuzz test-workers bench-service smoke-service smoke-metrics examples
 
 # The packages holding chaos (failpoint-sweep) TestChaos* suites: the
 # serving path, the incremental-maintenance engine, the kernels, the
@@ -90,7 +95,7 @@ vet-imports:
 race:
 	$(GO) test -race ./...
 
-check: build vet lint test chaos
+check: build vet lint test chaos smoke-metrics
 
 chaos:
 	FAQ_WORKERS=1 $(GO) test -race -count=1 -run '^TestChaos' $(CHAOS_PKGS)
@@ -142,6 +147,25 @@ smoke-service:
 		sleep 0.2; \
 	done; \
 	/tmp/faqload-smoke -url http://$(SMOKEADDR) -requests 6 -n 128; \
+	STATUS=$$?; \
+	kill $$FAQD_PID 2>/dev/null; \
+	exit $$STATUS
+
+# smoke-metrics gates the observability surface: faqload's -url mode
+# strict-parses /metrics at each phase boundary, derives server-side
+# latency quantiles from the histogram deltas, and fails if the
+# exposition is malformed or a key series (requests, exec tasks, cache
+# misses, runtime gauges, HTTP counters) never moved.
+smoke-metrics:
+	$(GO) build -o /tmp/faqd-smoke ./cmd/faqd
+	$(GO) build -o /tmp/faqload-smoke ./cmd/faqload
+	@/tmp/faqd-smoke -addr $(METRICSADDR) -cache 64 & \
+	FAQD_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(METRICSADDR)/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	/tmp/faqload-smoke -url http://$(METRICSADDR) -requests 20 -n 128 -out /tmp/faqd-smoke-metrics.json; \
 	STATUS=$$?; \
 	kill $$FAQD_PID 2>/dev/null; \
 	exit $$STATUS

@@ -16,7 +16,17 @@
 //	GET  /stats   — cache and service counters (including shed /
 //	                deadline-exceeded / recovered-panic degradation
 //	                counters), resident plan table
+//	GET  /metrics — Prometheus text exposition (version 0.0.4): service
+//	                request/latency families per semiring, plan-cache,
+//	                exec-pool, failpoint, and delta counters, Go runtime
+//	                gauges, and faqd's own HTTP counters
+//	GET  /debug/trace — JSON array of the most recent solve traces
+//	                (?n=, default 20): per-phase and per-GHD-node spans
+//	                with measured durations
 //	GET  /healthz — readiness: 200 while serving, 503 while draining
+//
+// Every request is access-logged (structured, log/slog) and counted
+// into faqd_http_requests_total{path,code}.
 //
 // Status-code contract for solve failures (see README, Operations):
 // 429 budget admission rejection (retrying unchanged cannot succeed),
@@ -26,7 +36,10 @@
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes (new
 // connections refused, /healthz already reports not-ready), in-flight
 // requests drain up to -drain, then remaining request contexts are
-// canceled.
+// canceled. While draining, work-accepting endpoints (/solve,
+// /materialize, /update) answer 503 immediately, but the observability
+// surface (/metrics, /stats, /debug/trace) keeps serving so the final
+// scrape of a terminating instance still lands.
 //
 // Usage:
 //
@@ -40,7 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -71,6 +84,8 @@ type server struct {
 	engine   *faqs.Engine
 	started  time.Time
 	draining atomic.Bool
+	log      *slog.Logger
+	requests *faqs.CounterVec // faqd_http_requests_total{path,code}
 
 	// mats holds the named materialized views served by /materialize
 	// and /update. The mutex guards only the map; each view handles its
@@ -80,11 +95,15 @@ type server struct {
 }
 
 func newServer(opts ...faqs.Option) *server {
-	return &server{
+	s := &server{
 		engine:  faqs.NewEngine(opts...),
 		started: time.Now(),
+		log:     slog.Default(),
 		mats:    make(map[string]*faqs.Materialized),
 	}
+	s.requests = s.engine.Metrics().NewCounterVec("faqd_http_requests_total",
+		"HTTP requests served, by endpoint path and status code.", "path", "code")
+	return s
 }
 
 // mux wires the handler table (shared with the handler tests).
@@ -95,8 +114,62 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/materialize", s.handleMaterialize)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// knownPaths bounds the path label's cardinality: anything outside the
+// handler table (404 probes, scanners) counts as "other" instead of
+// minting one child per probed URL.
+var knownPaths = map[string]bool{
+	"/solve": true, "/explain": true, "/materialize": true, "/update": true,
+	"/stats": true, "/metrics": true, "/debug/trace": true, "/healthz": true,
+}
+
+// statusWriter captures the response status and size for the access
+// log and request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// handler wraps the mux with the access log and the per-endpoint
+// request counter — every response passes through here, including
+// error paths, so the counter and the log agree.
+func (s *server) handler() http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		path := r.URL.Path
+		if !knownPaths[path] {
+			path = "other"
+		}
+		s.requests.With(path, strconv.Itoa(sw.status)).Inc()
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(t0).Microseconds())/1000.0,
+			"remote", r.RemoteAddr,
+		)
+	})
 }
 
 // handleHealthz is the load-balancer readiness probe: a draining server
@@ -129,8 +202,16 @@ func main() {
 		faqs.WithDeadline(*deadline),
 		faqs.WithMaxInFlight(*inflight),
 	)
-	log.Printf("faqd: listening on %s (cache %d plans, %d workers, budget %d, deadline %s, inflight %d)",
-		*addr, srv.engine.Stats().Cache.Capacity, faqs.DefaultWorkers(), *budget, *deadline, *inflight)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv.log = logger
+	logger.Info("faqd: listening",
+		"addr", *addr,
+		"cache_plans", srv.engine.Stats().Cache.Capacity,
+		"workers", faqs.DefaultWorkers(),
+		"budget", *budget,
+		"deadline", *deadline,
+		"inflight", *inflight,
+	)
 	// Header/idle timeouts bound slow-loris connections; request bodies
 	// are already capped by MaxBytesReader. Solve time is bounded by the
 	// per-request deadline riding the request context (-deadline), which
@@ -138,7 +219,7 @@ func main() {
 	baseCtx, cancelInFlight := context.WithCancel(context.Background())
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.mux(),
+		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -159,16 +240,16 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 	srv.draining.Store(true)
-	log.Printf("faqd: shutdown signal received, draining in-flight requests (up to %s)", *drain)
+	logger.Info("faqd: shutdown signal received, draining in-flight requests", "drain", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	err := httpSrv.Shutdown(shutCtx)
 	cancel()
 	cancelInFlight() // past the drain window: cancel whatever is still solving
 	if err != nil {
-		log.Printf("faqd: drain timeout exceeded, closing: %v", err)
+		logger.Warn("faqd: drain timeout exceeded, closing", "err", err)
 		_ = httpSrv.Close()
 	}
-	log.Printf("faqd: shutdown complete")
+	logger.Info("faqd: shutdown complete")
 }
 
 type wireError struct {
@@ -200,7 +281,22 @@ func planHeaders(w http.ResponseWriter, fingerprint string, cacheHit bool) {
 	}
 }
 
+// rejectDraining answers 503 on work-accepting endpoints while the
+// server drains (the observability endpoints bypass it). Reports
+// whether the request was rejected.
+func (s *server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("faqd: draining"))
+	return true
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	wr, ok := decodeRequest(w, r)
 	if !ok {
 		return
@@ -243,6 +339,9 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // like /solve, materialize it, and answer with the initial result.
 // Duplicate names are 409 (the existing view keeps serving).
 func (s *server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
@@ -284,6 +383,9 @@ func (s *server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 // Unknown names are 404; a failed update leaves the view unchanged and
 // maps onto the same HTTP contract as /solve.
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
@@ -364,6 +466,44 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Draining:      s.draining.Load(),
 		Stats:         s.engine.Stats(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition. It deliberately
+// skips the draining check: the last scrape of a terminating instance
+// is the one that records the drain.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", faqs.MetricsContentType)
+	if err := s.engine.WriteMetrics(w); err != nil {
+		// Headers are already sent; all we can do is log the short write.
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+// handleTrace serves the engine's recent solve traces as JSON, newest
+// first (?n= bounds the count, default 20).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
+			return
+		}
+		n = p
+	}
+	traces := s.engine.RecentTraces(n)
+	if traces == nil {
+		traces = []faqs.Trace{} // an empty buffer serializes as [], not null
+	}
+	writeJSON(w, http.StatusOK, traces)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

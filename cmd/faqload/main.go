@@ -7,6 +7,14 @@
 // bit-identical to a direct per-request faq.Solve (and spot-checks the
 // distributed protocol.Run per template), and writes BENCH_service.json.
 //
+// In -url mode the run is two phases — cold (one request per template,
+// plans compile) then warm (cached plans bind to fresh data) — with a
+// strict-parsed /metrics scrape at each phase boundary: the report
+// folds in the server's own latency quantiles (faq_service_request_ns
+// bucket deltas), shed/deadline counters, and fails if the exposition
+// is malformed or a key series never moved. The JSON summary goes to
+// -out next to the text table.
+//
 // Cold-plan means the plan cache is dropped before every request, so each
 // request pays canonicalization + ghd.Minimize + re-rooting; warm-cache
 // compiles each template once and binds thereafter. All randomness is
@@ -40,6 +48,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faq"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/protocol"
 	"repro/internal/relation"
@@ -106,6 +115,15 @@ func main() {
 	url := flag.String("url", "", "drive a running faqd over HTTP instead of in-process (smoke mode)")
 	checkProto := flag.Bool("verify-protocol", true, "spot-check answers against protocol.Run per template")
 	flag.Parse()
+	if *url != "" {
+		// In -url mode the JSON summary is opt-in: the -out default is
+		// the in-process bench artifact, which a smoke must not clobber.
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if !outSet {
+			*out = ""
+		}
+	}
 	if err := run(*out, *requests, *n, *dom, *workers, *seed, *url, *checkProto); err != nil {
 		fmt.Fprintf(os.Stderr, "faqload: %v\n", err)
 		os.Exit(1)
@@ -240,7 +258,7 @@ func run(out string, requests, n, dom int, workerSpec string, seed int64, url st
 	}
 
 	if url != "" {
-		return runRemote(url, requests, n, dom, seed, hs, frees)
+		return runRemote(url, out, requests, n, dom, seed, hs, frees)
 	}
 
 	rep := benchReport{
@@ -452,44 +470,191 @@ func postRetry(client *http.Client, rng *rand.Rand, url string, body []byte) (*h
 	}
 }
 
-// runRemote smokes a running faqd: every request goes over HTTP with
-// retry-on-transient semantics, answers are verified against the local
-// direct solve (wire values are exact for Count), and a /stats
-// round-trip confirms the cache saw the shapes.
-func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hypergraph, frees [][]int) error {
+// remotePhase is one phase of the remote smoke, with both views of
+// latency: the client's wall clock (includes HTTP + JSON) and the
+// server's own faq_service_request_ns histogram, estimated from the
+// cumulative-bucket delta between the phase-boundary /metrics scrapes.
+type remotePhase struct {
+	Requests    int     `json:"requests"`
+	ClientP50NS int64   `json:"client_p50_ns"`
+	ClientP99NS int64   `json:"client_p99_ns"`
+	ServerP50NS float64 `json:"server_p50_ns"`
+	ServerP99NS float64 `json:"server_p99_ns"`
+	ServerCount float64 `json:"server_requests"`
+}
+
+// remoteReport is the machine-readable summary of one -url smoke run,
+// written to -out alongside the text table.
+type remoteReport struct {
+	URL              string      `json:"url"`
+	Requests         int         `json:"requests"`
+	N                int         `json:"n"`
+	Cold             remotePhase `json:"cold"`
+	Warm             remotePhase `json:"warm"`
+	ThroughputRPS    float64     `json:"throughput_rps"`
+	Shed             float64     `json:"server_shed"`
+	DeadlineExceeded float64     `json:"server_deadline_exceeded"`
+	PlanCompiles     int64       `json:"server_plan_compiles"`
+	AnswersVerified  bool        `json:"answers_verified"`
+}
+
+// metricsScrape GETs the target's /metrics and round-trips it through
+// the strict exposition parser — a malformed document fails the smoke.
+func metricsScrape(client *http.Client, url string) (*obs.Scrape, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics does not parse: %w", err)
+	}
+	return sc, nil
+}
+
+// latencyLabels selects the server-side request-latency series the
+// Count-semiring smoke workload lands in.
+var latencyLabels = map[string]string{"semiring": "count"}
+
+// serverLatency estimates phase quantiles from the cumulative-bucket
+// delta of faq_service_request_ns between two scrapes (differences of
+// cumulative counts are again cumulative, so the interpolation applies
+// unchanged).
+func serverLatency(before, after *obs.Scrape) (p remotePhase, err error) {
+	const series = "faq_service_request_ns"
+	lesB, cumB, okB := before.HistBuckets(series, latencyLabels)
+	lesA, cumA, okA := after.HistBuckets(series, latencyLabels)
+	if !okA {
+		return p, fmt.Errorf("%s missing from /metrics", series)
+	}
+	delta := append([]float64(nil), cumA...)
+	if okB {
+		if len(cumB) != len(cumA) || !slices.Equal(lesB, lesA) {
+			return p, fmt.Errorf("%s bucket layout changed between scrapes", series)
+		}
+		for i := range delta {
+			delta[i] -= cumB[i]
+		}
+	}
+	p.ServerP50NS = obs.QuantileFromBuckets(lesA, delta, 0.50)
+	p.ServerP99NS = obs.QuantileFromBuckets(lesA, delta, 0.99)
+	p.ServerCount = delta[len(delta)-1]
+	return p, nil
+}
+
+// runRemote smokes a running faqd in two phases — cold (one request
+// per template, plans compile) then warm (cached plans bind to fresh
+// data) — scraping /metrics at each phase boundary. Every answer is
+// verified against the local direct solve (wire values are exact for
+// Count), server-side latency quantiles and shed/deadline counters
+// are folded into the report from the scrape deltas, and the summary
+// is written to -out as JSON next to the text table.
+func runRemote(url, out string, requests, n, dom int, seed int64, hs []*hypergraph.Hypergraph, frees [][]int) error {
 	client := &http.Client{Timeout: 60 * time.Second}
 	rng := rand.New(rand.NewSource(seed * 7_919))
-	var lats []int64
-	for i := 0; i < requests; i++ {
+	coldN := len(templates)
+	if requests < coldN {
+		coldN = requests
+	}
+
+	solveOne := func(i int) (int64, error) {
 		r := genRequest(hs, frees, i, n, dom, seed)
 		wr := queryToWire(r.q)
 		body, err := json.Marshal(wr)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		t0 := time.Now()
 		resp, err := postRetry(client, rng, url+"/solve", body)
 		if err != nil {
-			return fmt.Errorf("POST /solve: %w", err)
+			return 0, fmt.Errorf("POST /solve: %w", err)
 		}
 		var wa faqs.WireAnswer
 		decErr := json.NewDecoder(resp.Body).Decode(&wa)
 		resp.Body.Close()
-		lats = append(lats, time.Since(t0).Nanoseconds())
+		lat := time.Since(t0).Nanoseconds()
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("POST /solve: status %d", resp.StatusCode)
+			return 0, fmt.Errorf("POST /solve: status %d", resp.StatusCode)
 		}
 		if decErr != nil {
-			return fmt.Errorf("decode answer: %w", decErr)
+			return 0, fmt.Errorf("decode answer: %w", decErr)
 		}
 		want, err := faq.Solve(r.q)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := compareWire(r.q, want, &wa); err != nil {
-			return fmt.Errorf("request %d (%s): %w", i, templates[r.template].name, err)
+			return 0, fmt.Errorf("request %d (%s): %w", i, templates[r.template].name, err)
+		}
+		return lat, nil
+	}
+
+	runPhase := func(from, to int) (remotePhase, *obs.Scrape, error) {
+		before, err := metricsScrape(client, url)
+		if err != nil {
+			return remotePhase{}, nil, err
+		}
+		var lats []int64
+		for i := from; i < to; i++ {
+			lat, err := solveOne(i)
+			if err != nil {
+				return remotePhase{}, nil, err
+			}
+			lats = append(lats, lat)
+		}
+		after, err := metricsScrape(client, url)
+		if err != nil {
+			return remotePhase{}, nil, err
+		}
+		ph, err := serverLatency(before, after)
+		if err != nil {
+			return remotePhase{}, nil, err
+		}
+		ph.Requests = len(lats)
+		slices.Sort(lats)
+		ph.ClientP50NS = percentile(lats, 0.50)
+		ph.ClientP99NS = percentile(lats, 0.99)
+		if ph.ServerCount < float64(len(lats)) {
+			return remotePhase{}, nil, fmt.Errorf("server latency histogram saw %.0f requests, want >= %d", ph.ServerCount, len(lats))
+		}
+		return ph, after, nil
+	}
+
+	t0 := time.Now()
+	cold, _, err := runPhase(0, coldN)
+	if err != nil {
+		return err
+	}
+	warm, final, err := runPhase(coldN, requests)
+	if err != nil {
+		return err
+	}
+	wallNS := time.Since(t0).Nanoseconds()
+
+	// Key series must be live: a scrape that parses but reports a dead
+	// engine (nothing counted) is a broken /metrics, not a quiet one.
+	for _, check := range []struct {
+		series string
+		labels map[string]string
+	}{
+		{"faq_service_requests_total", latencyLabels},
+		{"faq_exec_tasks_total", nil},
+		{"faq_plan_cache_misses_total", nil},
+		{"faq_go_goroutines", nil},
+		{"faqd_http_requests_total", map[string]string{"path": "/solve", "code": "200"}},
+	} {
+		if v, ok := final.Value(check.series, check.labels); !ok || v < 1 {
+			return fmt.Errorf("key series %s%v is missing or zero after %d requests (v=%v ok=%v)",
+				check.series, check.labels, requests, v, ok)
 		}
 	}
+	shed, _ := final.Value("faq_service_shed_total", latencyLabels)
+	deadlines, _ := final.Value("faq_service_deadline_exceeded_total", latencyLabels)
+
 	resp, err := client.Get(url + "/stats")
 	if err != nil {
 		return fmt.Errorf("GET /stats: %w", err)
@@ -504,12 +669,44 @@ func runRemote(url string, requests, n, dom int, seed int64, hs []*hypergraph.Hy
 	if stats.Cache.Compiles < 1 || stats.Cache.Compiles > int64(len(templates)) {
 		return fmt.Errorf("stats: %d compiles for %d templates — plan sharing broken", stats.Cache.Compiles, len(templates))
 	}
-	var total int64
-	for _, l := range lats {
-		total += l
+
+	rep := remoteReport{
+		URL: url, Requests: requests, N: n,
+		Cold: cold, Warm: warm,
+		Shed: shed, DeadlineExceeded: deadlines,
+		PlanCompiles:    stats.Cache.Compiles,
+		AnswersVerified: true,
 	}
+	if wallNS > 0 {
+		rep.ThroughputRPS = float64(requests) / (float64(wallNS) / 1e9)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("remote smoke: %d requests OK against %s (%.1f req/s), %d plan compiles for %d shapes, answers verified\n",
-		requests, url, float64(len(lats))/(float64(total)/1e9), stats.Cache.Compiles, len(templates))
+		requests, url, rep.ThroughputRPS, stats.Cache.Compiles, len(templates))
+	fmt.Printf("%-6s %-10s %-14s %-14s %-14s %-14s\n",
+		"phase", "requests", "client_p50_ms", "client_p99_ms", "server_p50_ms", "server_p99_ms")
+	for _, row := range []struct {
+		name string
+		ph   remotePhase
+	}{{"cold", cold}, {"warm", warm}} {
+		fmt.Printf("%-6s %-10d %-14.3f %-14.3f %-14.3f %-14.3f\n",
+			row.name, row.ph.Requests,
+			float64(row.ph.ClientP50NS)/1e6, float64(row.ph.ClientP99NS)/1e6,
+			row.ph.ServerP50NS/1e6, row.ph.ServerP99NS/1e6)
+	}
+	fmt.Printf("server counters: shed=%.0f deadline_exceeded=%.0f\n", shed, deadlines)
+	if out != "" {
+		fmt.Printf("wrote %s\n", out)
+	}
 	return nil
 }
 

@@ -79,4 +79,23 @@
 // network topology (Line, Clique, Star, Ring, Grid) and reports measured
 // rounds and bits next to the closed-form upper and lower bounds, so the
 // examples can reproduce the paper's tables through the public API.
+//
+// # Observability
+//
+// Every engine is instrumented by default. Engine.WriteMetrics writes
+// one Prometheus text-exposition document (MetricsContentType):
+// per-semiring request/outcome counters and latency histograms, the
+// process-wide plan-cache / exec-pool / failpoint / delta families,
+// and Go runtime gauges. Caller-owned families registered on
+// Engine.Metrics ride the same document. Sampling is one atomic add
+// on a pre-bound handle — zero allocations on the solve hot path —
+// so there is no off switch.
+//
+// The engine also keeps a bounded ring of per-request traces
+// (Engine.RecentTraces): canonicalize → cache → admission → bind →
+// exec phase spans plus one measured span per GHD node. The per-node
+// durations fold back into the cached plan as exec.TaskShapes, so a
+// shape's second solve already carries real measurements for /stats
+// and schedule replay. cmd/faqd exposes all of it as GET /metrics and
+// GET /debug/trace.
 package faqs

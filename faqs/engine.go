@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/faq"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/service"
 )
@@ -110,6 +111,9 @@ type Engine struct {
 	pool    *exec.Pool
 	workers int
 	runners map[string]runner
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	runtime *obs.RuntimeCollector
 }
 
 // NewEngine builds an engine from functional options.
@@ -121,8 +125,15 @@ func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		cache:   plan.NewCache(cfg.cacheSize),
 		runners: make(map[string]runner, len(registry)),
+		metrics: obs.NewRegistry(),
+		tracer:  obs.NewTracer(traceBufferSize),
 	}
-	svcOpts := []service.Option{service.WithBruteForceFallback(cfg.fallback)}
+	e.runtime = obs.NewRuntimeCollector(e.metrics)
+	svcOpts := []service.Option{
+		service.WithBruteForceFallback(cfg.fallback),
+		service.WithMetrics(e.metrics),
+		service.WithTracer(e.tracer),
+	}
 	if cfg.workers > 0 {
 		e.workers = cfg.workers
 		e.pool = exec.New(cfg.workers)

@@ -1,0 +1,76 @@
+package faqs
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// The observability façade: cmd/faqd (and any embedder that honors the
+// façade contract) reaches metrics and traces only through these
+// aliases and Engine methods, never by importing the internal obs
+// package directly.
+
+// Registry is an engine's metrics registry — counters, gauges, and
+// fixed-bucket histograms with Prometheus text exposition. Each engine
+// owns a private registry carrying its per-semiring service families
+// and the process runtime gauges; callers may register additional
+// families on it (faqd registers its HTTP counters here) and they ride
+// the same WriteMetrics surface.
+type Registry = obs.Registry
+
+// Counter is a monotone int64 metric handle (one atomic add per
+// sample).
+type Counter = obs.Counter
+
+// CounterVec is a labelled counter family; With binds one child.
+type CounterVec = obs.CounterVec
+
+// Gauge is a settable int64 metric handle.
+type Gauge = obs.Gauge
+
+// Histogram is a fixed-bucket int64 histogram handle.
+type Histogram = obs.Histogram
+
+// Trace is one recorded solve: request envelope (semiring, plan
+// fingerprint, cache hit, fallback, error) plus per-phase and
+// per-GHD-node spans with measured durations.
+type Trace = obs.Trace
+
+// Span is one timed phase or node task inside a Trace.
+type Span = obs.Span
+
+// MetricsContentType is the Content-Type for WriteMetrics output
+// (Prometheus text exposition format 0.0.4).
+const MetricsContentType = obs.ExpositionContentType
+
+// traceBufferSize bounds the engine's trace ring: the most recent
+// traces kept for RecentTraces (faqd's /debug/trace).
+const traceBufferSize = 256
+
+// Metrics returns the engine's registry, for registering caller-owned
+// families that should appear in WriteMetrics output. Registration is
+// idempotent; sampling a bound handle is one atomic add.
+func (e *Engine) Metrics() *Registry { return e.metrics }
+
+// WriteMetrics writes one Prometheus text-exposition document: a fresh
+// runtime-gauge collection, the engine registry (per-semiring service
+// counters and latency histograms, runtime gauges, caller families),
+// then the process-global registry (exec pool, plan cache, failpoint,
+// and delta-maintenance families shared by every engine in the
+// process). Family names are disjoint across the two registries, so
+// the concatenation is itself a valid exposition document.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	e.runtime.Collect()
+	if _, err := e.metrics.WriteTo(w); err != nil {
+		return err
+	}
+	_, err := obs.Default().WriteTo(w)
+	return err
+}
+
+// RecentTraces returns up to n of the engine's most recent solve
+// traces, newest first. The engine retains a bounded ring of the last
+// traceBufferSize requests; tracing is always on (recording is a few
+// copies into a preallocated ring — no I/O, no allocation growth).
+func (e *Engine) RecentTraces(n int) []Trace { return e.tracer.Recent(n) }

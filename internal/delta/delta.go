@@ -438,6 +438,7 @@ func (m *Materialized[T]) Update(ctx context.Context, batches ...Batch[T]) error
 		}
 		m.boolAnswer = nil
 		m.updates++
+		metricUpdates.Inc()
 		return nil
 	}
 	if err := m.validateBatches(batches); err != nil {
@@ -456,8 +457,10 @@ func (m *Materialized[T]) Update(ctx context.Context, batches ...Batch[T]) error
 		return err
 	}
 	m.updates++
+	metricUpdates.Inc()
 	if m.strategy == StrategyRecompute {
 		m.recomputes++
+		metricRecomputes.Inc()
 	}
 	return nil
 }

@@ -1,0 +1,13 @@
+package delta
+
+import "repro/internal/obs"
+
+// Materialized-view instrumentation on the process-global registry,
+// aggregated across every handle in the process. Per-handle counts
+// remain available via Stats.
+var (
+	metricUpdates = obs.Default().NewCounter("faq_delta_updates_total",
+		"Materialized-view updates applied (any strategy).")
+	metricRecomputes = obs.Default().NewCounter("faq_delta_recompute_fallbacks_total",
+		"Updates served by the per-node recompute fallback instead of delta propagation.")
+)

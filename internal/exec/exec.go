@@ -93,12 +93,22 @@ func wrapPanic() {
 	}
 }
 
-// protect wraps a task so that the exec.task failpoint gates it and a
+// protect wraps a task so that the exec.task failpoint gates it, a
 // panic is captured as a *panicError instead of killing the worker
-// goroutine.
+// goroutine, and the task is metered (duration histogram, busy time,
+// in-flight gauge) — protect is the single choke point every Forest
+// node task passes through, so instrumenting it covers sequential and
+// parallel dispatch alike at zero allocations per task.
 func protect(run func(v int) error) func(v int) error {
 	return func(v int) (err error) {
+		metricInFlight.Inc()
+		t0 := time.Now()
 		defer func() {
+			d := time.Since(t0).Nanoseconds()
+			metricInFlight.Dec()
+			metricTaskNS.Observe(d)
+			metricBusyNS.Add(d)
+			metricTasks.Inc()
 			if r := recover(); r != nil {
 				err = &panicError{p: asTaskPanic(r)}
 			}
@@ -329,6 +339,7 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 			queue = append(queue, v)
 		}
 	}
+	metricQueueDepth.Add(int64(len(queue)))
 	worker := func() {
 		mu.Lock()
 		defer mu.Unlock()
@@ -343,6 +354,7 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 			}
 			v := queue[0]
 			queue = queue[1:]
+			metricQueueDepth.Dec()
 			running++
 			mu.Unlock()
 			err := run(v)
@@ -353,11 +365,13 @@ func (p *Pool) Forest(parent []int, run func(v int) error) error {
 					errNode, firstErr = v, err
 				}
 				failed = true
+				metricQueueDepth.Add(-int64(len(queue)))
 				queue = queue[:0] // cancel not-yet-started tasks
 			} else if !failed {
 				if pa := parent[v]; pa >= 0 {
 					if pending[pa]--; pending[pa] == 0 {
 						queue = append(queue, pa)
+						metricQueueDepth.Inc()
 					}
 				}
 			}

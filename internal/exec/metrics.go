@@ -1,0 +1,22 @@
+package exec
+
+import "repro/internal/obs"
+
+// Pool instrumentation on the process-global registry. Every metric is
+// a pre-bound handle: a sample is one or two atomic adds with zero
+// allocations (pinned by TestTaskInstrumentationAllocs), so the
+// instrumentation is on unconditionally — the "costs nothing
+// measurable" contract of the observability layer.
+var (
+	metricTasks = obs.Default().NewCounter("faq_exec_tasks_total",
+		"Forest node tasks completed (any outcome), across every pool.")
+	metricInFlight = obs.Default().NewGauge("faq_exec_tasks_inflight",
+		"Forest node tasks currently executing.")
+	metricQueueDepth = obs.Default().NewGauge("faq_exec_queue_depth",
+		"Forest node tasks ready to run but not yet picked up by a worker.")
+	metricBusyNS = obs.Default().NewCounter("faq_exec_worker_busy_ns_total",
+		"Cumulative wall-clock nanoseconds workers spent inside node tasks.")
+	metricTaskNS = obs.Default().NewHistogram("faq_exec_task_ns",
+		"Per-task wall-clock duration of Forest node tasks, nanoseconds.",
+		obs.DurationBucketsNS)
+)

@@ -44,7 +44,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// metricFired counts failpoint firings per site on the process-global
+// registry, so a chaos run against a live faqd shows up on /metrics.
+// Children are pre-bound at Register time; the disarmed hot path is
+// untouched (still one atomic pointer load).
+var metricFired = obs.Default().NewCounterVec("faq_fault_fired_total",
+	"Failpoint hits that actually fired (armed sites only), by site.",
+	"site")
 
 // ErrInjected matches every error produced by an armed failpoint
 // (errors.Is). The concrete type is *InjectedError, carrying the site.
@@ -123,10 +133,11 @@ type Config struct {
 // Site is one named failpoint. Obtain sites with Register at package
 // init; hits on a disarmed site are a single atomic pointer load.
 type Site struct {
-	name  string
-	cfg   atomic.Pointer[Config]
-	hits  atomic.Uint64 // evaluations while armed (trigger counter)
-	fired atomic.Uint64 // hits that actually fired
+	name   string
+	cfg    atomic.Pointer[Config]
+	hits   atomic.Uint64 // evaluations while armed (trigger counter)
+	fired  atomic.Uint64 // hits that actually fired
+	metric *obs.Counter  // pre-bound faq_fault_fired_total{site=name}
 }
 
 var (
@@ -145,7 +156,7 @@ func Register(name string) *Site {
 	if s, ok := sites[name]; ok {
 		return s
 	}
-	s := &Site{name: name}
+	s := &Site{name: name, metric: metricFired.With(name)}
 	if cfg, ok := pending[name]; ok {
 		delete(pending, name)
 		c := cfg
@@ -180,6 +191,7 @@ func (s *Site) Fire() (Config, bool) {
 		return Config{}, false
 	}
 	s.fired.Add(1)
+	s.metric.Add(1)
 	return *cfg, true
 }
 

@@ -262,7 +262,7 @@ func (r *Runner) reportUnusedPragmas() {
 }
 
 // NewAnalyzers builds a fresh instance of the full analyzer suite (the
-// six repo contracts). Fresh instances matter because some analyzers
+// seven repo contracts). Fresh instances matter because some analyzers
 // accumulate cross-package state consumed by Finish.
 func NewAnalyzers() []*Analyzer {
 	return []*Analyzer{
@@ -272,6 +272,7 @@ func NewAnalyzers() []*Analyzer {
 		NewCtxFlow(DefaultCtxFlowConfig()),
 		NewHotPath(DefaultHotPathConfig()),
 		NewFailpoint(DefaultFailpointConfig()),
+		NewMetricReg(DefaultMetricRegConfig()),
 	}
 }
 

@@ -211,6 +211,13 @@ func TestGoldenFailpoint(t *testing.T) {
 	}, lint.NewFailpoint(cfg))
 }
 
+func TestGoldenMetricReg(t *testing.T) {
+	runGolden(t, []fixture{
+		{"metricreg/viol", "repro/internal/fixturemr"},
+		{"metricreg/other", "repro/internal/othermr"},
+	}, lint.NewMetricReg(lint.DefaultMetricRegConfig()))
+}
+
 // TestGoldenPragmas exercises the pragma grammar itself (malformed,
 // unknown-analyzer, empty-reason, and stale suppressions are all
 // findings) under the full default analyzer suite.
@@ -219,10 +226,10 @@ func TestGoldenPragmas(t *testing.T) {
 		lint.NewAnalyzers()...)
 }
 
-// TestAnalyzerCatalogue pins the suite: exactly the six contract
+// TestAnalyzerCatalogue pins the suite: exactly the seven contract
 // analyzers, under their documented names.
 func TestAnalyzerCatalogue(t *testing.T) {
-	want := []string{"facade", "nopanic", "mapiter", "ctxflow", "hotpath", "failpoint"}
+	want := []string{"facade", "nopanic", "mapiter", "ctxflow", "hotpath", "failpoint", "metricreg"}
 	as := lint.NewAnalyzers()
 	if len(as) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(as), len(want))

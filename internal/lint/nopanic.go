@@ -30,12 +30,13 @@ func DefaultNoPanicConfig() NoPanicConfig {
 	return NoPanicConfig{
 		Packages: []string{"repro/internal/", "repro/faqs"},
 		Contain: map[string]string{
-			"repro/internal/fault.hitSlow":  "ModePanic is the failpoint contract: injected panics are the chaos suite's input",
-			"repro/internal/fault.Inject":   "ctx-less kernel sites surface every failing mode as a typed *InjectedPanic",
-			"repro/internal/fault.init":     "a silently ignored FAQ_FAILPOINTS chaos spec would report a clean run that tested nothing",
-			"repro/internal/exec.rethrow":   "re-raises a captured task panic on the calling goroutine (containment plumbing)",
-			"repro/internal/exec.wrapPanic": "normalizes sequential-path panics into the *TaskPanic shape the parallel paths produce",
-			"repro/internal/exec.Map":       "re-raises the captured *TaskPanic on the caller once all workers drain (containment plumbing)",
+			"repro/internal/fault.hitSlow":    "ModePanic is the failpoint contract: injected panics are the chaos suite's input",
+			"repro/internal/fault.Inject":     "ctx-less kernel sites surface every failing mode as a typed *InjectedPanic",
+			"repro/internal/fault.init":       "a silently ignored FAQ_FAILPOINTS chaos spec would report a clean run that tested nothing",
+			"repro/internal/exec.rethrow":     "re-raises a captured task panic on the calling goroutine (containment plumbing)",
+			"repro/internal/exec.wrapPanic":   "normalizes sequential-path panics into the *TaskPanic shape the parallel paths produce",
+			"repro/internal/exec.Map":         "re-raises the captured *TaskPanic on the caller once all workers drain (containment plumbing)",
+			"repro/internal/obs.mustRegister": "metric registration mismatches are programmer errors caught at init, not runtime conditions to return",
 		},
 		MustIdiom: true,
 	}

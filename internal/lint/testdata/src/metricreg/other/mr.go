@@ -1,0 +1,11 @@
+// A second package claiming a family name the first fixture already
+// registered: a cross-package clash the Finish pass must flag.
+package othermr
+
+import "repro/internal/obs"
+
+var reg = obs.NewRegistry()
+
+var mClash = reg.NewCounter("fixturemr_good_total", "Clashing registration.") // want `already registered by repro/internal/fixturemr`
+
+var _ = mClash

@@ -1,0 +1,24 @@
+// Seeded metric-registration violations: dynamic names, bad grammar,
+// missing help, and the allowed same-package re-registration idiom.
+package fixturemr
+
+import "repro/internal/obs"
+
+var reg = obs.NewRegistry()
+
+var dynamicName = "fixturemr_dynamic_total"
+
+var (
+	mDynamic = reg.NewCounter(dynamicName, "Dynamic name.")           // want `string-literal name`
+	mBadName = reg.NewCounter("bad name!", "Bad grammar.")            // want `not a valid metric name`
+	mNoHelp  = reg.NewGauge("fixturemr_nohelp", "")                   // want `help text must be non-empty`
+	mBlank   = reg.NewGauge("fixturemr_blank", "   ")                 // want `help text must be non-empty`
+	mDynHelp = reg.NewCounter("fixturemr_dynhelp_total", dynamicName) // want `help text must be a string literal`
+	mGood    = reg.NewCounter("fixturemr_good_total", "A documented counter.")
+	// Same-package re-registration is the idempotent idiom (per-semiring
+	// services binding one shared family): must not flag.
+	mAgain = reg.NewCounter("fixturemr_good_total", "A documented counter.")
+	mHist  = reg.NewHistogramVec("fixturemr_latency_ns", "Latency histogram.", obs.DurationBucketsNS, "semiring")
+)
+
+var _ = []any{mDynamic, mBadName, mNoHelp, mBlank, mDynHelp, mGood, mAgain, mHist}

@@ -1,0 +1,11 @@
+// Test files are exempt: throwaway registries in tests may mint names
+// dynamically and without help text — none of these may flag.
+package fixturemr
+
+import "repro/internal/obs"
+
+var testReg = obs.NewRegistry()
+
+var testDynamic = testReg.NewCounter(dynamicName, "")
+
+var _ = testDynamic

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for the Prometheus text
+// exposition format produced by WriteTo.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo writes every family in the Prometheus text exposition format:
+//
+//	# HELP name help
+//	# TYPE name counter|gauge|histogram
+//	name{label="value"} 123
+//
+// Families are emitted in name order and children in label-value order,
+// so the output is deterministic for golden tests. Histograms emit
+// cumulative `name_bucket{...,le="..."}` series (including le="+Inf"),
+// `name_sum`, and `name_count`. Values are read with independent atomic
+// loads: each series is monotone across scrapes, but bucket/sum pairs
+// are not a consistent cut.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, c := range f.sortedChildren() {
+			switch f.kind {
+			case histogramKind:
+				writeHistogram(&b, f, c)
+			default:
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, c.values, "", "")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(c.val.Load(), 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeHistogram(b *strings.Builder, f *family, c *child) {
+	var cum, sum int64
+	for i := range c.counts {
+		cum += c.counts[i].Load()
+		le := "+Inf"
+		if i < len(f.buckets) {
+			le = strconv.FormatInt(f.buckets[i], 10)
+		}
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, c.values, "le", le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	sum = c.sum.Load()
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labels, c.values, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(sum, 10))
+	b.WriteByte('\n')
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labels, c.values, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels emits `{k="v",...}` in declared label order, appending
+// the optional extra pair (the histogram le) last. Nothing is written
+// for a label-free series without an extra pair.
+func writeLabels(b *strings.Builder, names, values []string, extraName, extraVal string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

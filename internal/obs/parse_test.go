@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip writes a populated registry and re-parses it: the
+// strict parser must accept everything WriteTo emits and recover the
+// same values, labels, and help text.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("rt_requests_total", `help with \ and "quotes"`+"\nand newline", "semiring").
+		With("min-plus").Add(42)
+	r.NewGauge("rt_depth", "queue depth").Set(-3)
+	h := r.NewHistogram("rt_lat_ns", "latency", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round trip rejected: %v\n%s", err, b.String())
+	}
+	if got := s.Families["rt_requests_total"].Help; got != `help with \ and "quotes"`+"\nand newline" {
+		t.Fatalf("help round trip: %q", got)
+	}
+	if v, ok := s.Value("rt_requests_total", map[string]string{"semiring": "min-plus"}); !ok || v != 42 {
+		t.Fatalf("counter value = %v %v", v, ok)
+	}
+	if v, ok := s.Value("rt_depth", nil); !ok || v != -3 {
+		t.Fatalf("gauge value = %v %v", v, ok)
+	}
+	if v, ok := s.Value("rt_lat_ns_count", nil); !ok || v != 2 {
+		t.Fatalf("hist count = %v %v", v, ok)
+	}
+	les, cum, ok := s.HistBuckets("rt_lat_ns", nil)
+	if !ok || len(les) != 2 || len(cum) != 3 {
+		t.Fatalf("HistBuckets = %v %v %v", les, cum, ok)
+	}
+	if cum[0] != 1 || cum[1] != 1 || cum[2] != 2 {
+		t.Fatalf("cumulative counts = %v", cum)
+	}
+}
+
+// TestParseStrictness feeds the parser documents that a sloppy parser
+// would accept; all must be rejected.
+func TestParseStrictness(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"sample before TYPE", "# HELP m h\nm 1\n"},
+		{"no HELP", "# TYPE m counter\nm 1\n"},
+		{"bare sample", "m 1\n"},
+		{"duplicate HELP", "# HELP m h\n# TYPE m counter\nm 1\n# HELP m h\n"},
+		{"duplicate TYPE", "# HELP m h\n# TYPE m counter\n# TYPE m counter\n"},
+		{"unknown type", "# HELP m h\n# TYPE m summary\nm 1\n"},
+		{"unknown comment", "# EOF\n"},
+		{"blank line", "# HELP m h\n# TYPE m counter\n\nm 1\n"},
+		{"duplicate series", "# HELP m h\n# TYPE m counter\nm 1\nm 2\n"},
+		{"foreign sample", "# HELP m h\n# TYPE m counter\nother 1\n"},
+		{"duplicate label", "# HELP m h\n# TYPE m counter\nm{a=\"1\",a=\"2\"} 1\n"},
+		{"unterminated label", "# HELP m h\n# TYPE m counter\nm{a=\"1\" 1\n"},
+		{"bad escape", "# HELP m h\n# TYPE m counter\nm{a=\"\\t\"} 1\n"},
+		{"bad value", "# HELP m h\n# TYPE m counter\nm one\n"},
+		{"help no type", "# HELP m h\n"},
+		{"hist missing inf", "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n"},
+		{"hist missing sum", "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_count 1\n"},
+		{"hist inf vs count", "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 2\nm_sum 1\nm_count 1\n"},
+		{"hist decreasing", "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 5\n"},
+		{"hist bucket no le", "# HELP m h\n# TYPE m histogram\nm_bucket 1\nm_bucket{le=\"+Inf\"} 1\nm_sum 1\nm_count 1\n"},
+		{"interleaved families", "# HELP a h\n# TYPE a counter\n# HELP b h\n# TYPE b counter\na 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseText(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("accepted malformed document:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsHistogramWithLabels(t *testing.T) {
+	doc := "# HELP m h\n# TYPE m histogram\n" +
+		"m_bucket{s=\"a\",le=\"1\"} 1\nm_bucket{s=\"a\",le=\"+Inf\"} 2\nm_sum{s=\"a\"} 3\nm_count{s=\"a\"} 2\n" +
+		"m_bucket{s=\"b\",le=\"1\"} 0\nm_bucket{s=\"b\",le=\"+Inf\"} 1\nm_sum{s=\"b\"} 9\nm_count{s=\"b\"} 1\n"
+	s, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("m_count", map[string]string{"s": "b"}); !ok || v != 1 {
+		t.Fatalf("labelled hist count = %v %v", v, ok)
+	}
+	les, cum, ok := s.HistBuckets("m", map[string]string{"s": "a"})
+	if !ok || len(les) != 1 || cum[1] != 2 {
+		t.Fatalf("labelled HistBuckets = %v %v %v", les, cum, ok)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	// 100 observations: 50 in (0,10], 40 in (10,100], 10 in (100,+Inf].
+	les := []float64{10, 100}
+	cum := []float64{50, 90, 100}
+	if got := QuantileFromBuckets(les, cum, 0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10 (exact bucket edge)", got)
+	}
+	p75 := QuantileFromBuckets(les, cum, 0.75)
+	want := 10 + 90*(75.0-50.0)/40.0 // interpolated inside (10,100]
+	if math.Abs(p75-want) > 1e-9 {
+		t.Fatalf("p75 = %v, want %v", p75, want)
+	}
+	if got := QuantileFromBuckets(les, cum, 0.99); got != 100 {
+		t.Fatalf("p99 in +Inf bucket should clamp to 100, got %v", got)
+	}
+	if got := QuantileFromBuckets(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := QuantileFromBuckets(les, []float64{0, 0, 0}, 0.5); got != 0 {
+		t.Fatalf("zero-count quantile = %v, want 0", got)
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Collect()
+	if c.goroutines.Value() < 1 {
+		t.Fatalf("goroutines gauge = %d, want >= 1", c.goroutines.Value())
+	}
+	if c.heapBytes.Value() <= 0 {
+		t.Fatalf("heap bytes gauge = %d, want > 0", c.heapBytes.Value())
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("runtime gauges don't round-trip: %v", err)
+	}
+}

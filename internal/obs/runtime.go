@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeCollector mirrors a few runtime/metrics samples into registry
+// gauges. Collect is called at scrape time (faqd's /metrics handler),
+// not on a timer, so an idle process costs nothing.
+type RuntimeCollector struct {
+	samples    []metrics.Sample
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCycles   *Gauge
+	gcPauseP50 *Gauge
+	gcPauseP99 *Gauge
+}
+
+// NewRuntimeCollector registers the faq_go_* runtime gauges on r and
+// returns a collector that refreshes them.
+func NewRuntimeCollector(r *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{
+		samples: []metrics.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+			{Name: "/gc/pauses:seconds"},
+		},
+		goroutines: r.NewGauge("faq_go_goroutines",
+			"Live goroutines, from runtime/metrics /sched/goroutines."),
+		heapBytes: r.NewGauge("faq_go_heap_objects_bytes",
+			"Bytes of live heap objects, from /memory/classes/heap/objects."),
+		gcCycles: r.NewGauge("faq_go_gc_cycles_total",
+			"Completed GC cycles since process start (monotone gauge)."),
+		gcPauseP50: r.NewGauge("faq_go_gc_pause_p50_ns",
+			"Median stop-the-world GC pause since process start, nanoseconds."),
+		gcPauseP99: r.NewGauge("faq_go_gc_pause_p99_ns",
+			"99th-percentile stop-the-world GC pause since process start, nanoseconds."),
+	}
+	return c
+}
+
+// Collect reads the runtime samples and updates the gauges.
+func (c *RuntimeCollector) Collect() {
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.goroutines.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.heapBytes.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.gcCycles.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				c.gcPauseP50.Set(histQuantileNS(h, 0.5))
+				c.gcPauseP99.Set(histQuantileNS(h, 0.99))
+			}
+		}
+	}
+}
+
+func clampInt64(v uint64) int64 {
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// histQuantileNS estimates quantile q of a runtime Float64Histogram
+// (seconds) in nanoseconds, using each landing bucket's upper bound.
+func histQuantileNS(h *metrics.Float64Histogram, q float64) int64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]); report the
+			// upper bound, falling back to the lower for the +Inf tail.
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, 1) {
+				upper = h.Buckets[i]
+			}
+			if math.IsInf(upper, -1) || math.IsNaN(upper) || upper < 0 {
+				return 0
+			}
+			return int64(upper * 1e9)
+		}
+	}
+	return 0
+}

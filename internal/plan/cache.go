@@ -36,7 +36,7 @@ type Cache struct {
 	entries  map[string]*list.Element // key -> element; Value is *cacheEntry
 	lru      *list.List               // front = most recently used
 
-	hits, misses, compiles, failures, evictions int64
+	hits, misses, compiles, failures, evictions, waits int64
 }
 
 type cacheEntry struct {
@@ -69,6 +69,13 @@ func (c *Cache) Get(key string, compile func() (*Plan, error)) (*Plan, bool, err
 		ent := el.Value.(*cacheEntry)
 		c.lru.MoveToFront(el)
 		c.hits++
+		metricCacheHits.Inc()
+		if !entryReady(ent) {
+			// Joining another goroutine's in-flight compile: a
+			// singleflight wait, counted before blocking on ready.
+			c.waits++
+			metricCacheWaits.Inc()
+		}
 		c.mu.Unlock()
 		<-ent.ready
 		if ent.err != nil {
@@ -80,6 +87,7 @@ func (c *Cache) Get(key string, compile func() (*Plan, error)) (*Plan, bool, err
 	ent := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = c.lru.PushFront(ent)
 	c.misses++
+	metricCacheMisses.Inc()
 	c.mu.Unlock()
 
 	// Singleflight: only this goroutine compiles key. The deferred
@@ -95,12 +103,14 @@ func (c *Cache) Get(key string, compile func() (*Plan, error)) (*Plan, bool, err
 		close(ent.ready)
 		if err != nil {
 			c.failures++
+			metricCacheFailures.Inc()
 			if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == ent {
 				c.lru.Remove(el)
 				delete(c.entries, key)
 			}
 		} else {
 			c.compiles++
+			metricCacheCompiles.Inc()
 			c.evictLocked()
 		}
 		c.mu.Unlock()
@@ -132,6 +142,7 @@ func (c *Cache) evictLocked() {
 				c.lru.Remove(el)
 				delete(c.entries, ent.key)
 				c.evictions++
+				metricCacheEvictions.Inc()
 				evicted = true
 				break
 			}
@@ -175,7 +186,7 @@ func (c *Cache) Reset() {
 		}
 		el = prev
 	}
-	c.hits, c.misses, c.compiles, c.failures, c.evictions = 0, 0, 0, 0, 0
+	c.hits, c.misses, c.compiles, c.failures, c.evictions, c.waits = 0, 0, 0, 0, 0, 0
 }
 
 // CacheStats is the JSON-friendly counter snapshot for /stats.
@@ -187,6 +198,7 @@ type CacheStats struct {
 	Compiles  int64 `json:"compiles"`
 	Failures  int64 `json:"failures"`
 	Evictions int64 `json:"evictions"`
+	Waits     int64 `json:"waits"` // singleflight joins on in-flight compiles
 }
 
 // Stats returns the current counters.
@@ -201,6 +213,7 @@ func (c *Cache) Stats() CacheStats {
 		Compiles:  c.compiles,
 		Failures:  c.failures,
 		Evictions: c.evictions,
+		Waits:     c.waits,
 	}
 }
 

@@ -30,10 +30,11 @@ func (sv *Service[T]) Materialize(ctx context.Context, q *faq.Query[T]) (mz *Mat
 		ctx = context.Background()
 	}
 	t0 := time.Now()
-	sv.requests.Add(1)
+	sv.met.requests.Inc()
 	fail := func(err error) (*Materialized[T], Info, error) {
 		sv.countErr(err)
 		info.TotalNS = time.Since(t0).Nanoseconds()
+		sv.met.latency.Observe(info.TotalNS)
 		return nil, info, err
 	}
 	if sv.cfg.gate != nil {
@@ -50,6 +51,7 @@ func (sv *Service[T]) Materialize(ctx context.Context, q *faq.Query[T]) (mz *Mat
 		return fail(err)
 	}
 	info.TotalNS = time.Since(t0).Nanoseconds()
+	sv.met.latency.Observe(info.TotalNS)
 	return &Materialized[T]{sv: sv, m: m}, info, nil
 }
 
@@ -79,7 +81,7 @@ func (sv *Service[T]) materializeAdmitted(ctx context.Context, q *faq.Query[T], 
 		return nil, err
 	}
 	if p.Fallback {
-		sv.rejected.Add(1)
+		sv.met.rejected.Inc()
 		return nil, fmt.Errorf("service: cannot materialize a brute-force fallback shape: %w", faq.ErrFreeOutsideRoot)
 	}
 
@@ -104,7 +106,7 @@ func (mz *Materialized[T]) Update(ctx context.Context, batches ...delta.Batch[T]
 		ctx = context.Background()
 	}
 	sv := mz.sv
-	sv.requests.Add(1)
+	sv.met.requests.Inc()
 	if sv.cfg.gate != nil {
 		if !sv.cfg.gate.TryAcquire() {
 			err := sv.shedReject()
@@ -120,9 +122,9 @@ func (mz *Materialized[T]) Update(ctx context.Context, batches ...delta.Batch[T]
 		sv.countErr(err)
 		return err
 	}
-	sv.updates.Add(1)
+	sv.met.updates.Inc()
 	if mz.m.Strategy() == delta.StrategyRecompute {
-		sv.deltaFallbacks.Add(1)
+		sv.met.deltaFallbacks.Inc()
 	}
 	return nil
 }

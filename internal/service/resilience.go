@@ -124,7 +124,7 @@ func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline 
 
 // shed records and types a gate rejection.
 func (sv *Service[T]) shedReject() error {
-	sv.shed.Add(1)
+	sv.met.shed.Inc()
 	g := sv.cfg.gate
 	return &OverloadError{InFlight: g.InFlight(), Limit: g.Limit()}
 }
@@ -144,15 +144,15 @@ func (sv *Service[T]) withDeadline(ctx context.Context) (context.Context, contex
 // single recover is sufficient at every worker count.
 func (sv *Service[T]) recoverInternal(err *error) {
 	if r := recover(); r != nil {
-		sv.panics.Add(1)
+		sv.met.panics.Inc()
 		*err = asInternal(r)
 	}
 }
 
 // countErr classifies a request error into the degradation counters.
 func (sv *Service[T]) countErr(err error) {
-	sv.errors.Add(1)
+	sv.met.errors.Inc()
 	if errors.Is(err, context.DeadlineExceeded) {
-		sv.deadlineExceeded.Add(1)
+		sv.met.deadlineExceeded.Inc()
 	}
 }

@@ -19,12 +19,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/faq"
 	"repro/internal/ghd"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/semiring"
@@ -70,6 +70,8 @@ type config struct {
 	noFallback bool
 	gate       *Gate
 	deadline   time.Duration
+	metrics    *obs.Registry
+	tracer     *obs.Tracer
 }
 
 // WithPool runs the service's GHD passes on a caller-owned exec pool
@@ -93,14 +95,16 @@ func WithBruteForceFallback(enabled bool) Option {
 
 // Info reports how one request was served.
 type Info struct {
-	PlanHash uint64 `json:"-"`
-	CacheHit bool   `json:"cache_hit"`
-	Fallback bool   `json:"fallback"`
-	CanonNS  int64  `json:"canon_ns"`
-	PlanNS   int64  `json:"plan_ns"` // cache round-trip (compile on miss)
-	BindNS   int64  `json:"bind_ns"`
-	ExecNS   int64  `json:"exec_ns"`
-	TotalNS  int64  `json:"total_ns"`
+	PlanHash uint64  `json:"-"`
+	CacheHit bool    `json:"cache_hit"`
+	Fallback bool    `json:"fallback"`
+	CanonNS  int64   `json:"canon_ns"`
+	PlanNS   int64   `json:"plan_ns"` // cache round-trip (compile on miss)
+	AdmitNS  int64   `json:"-"`       // admission check (budget + fallback policy)
+	BindNS   int64   `json:"bind_ns"`
+	ExecNS   int64   `json:"exec_ns"`
+	TotalNS  int64   `json:"total_ns"`
+	NodeNS   []int64 `json:"-"` // per-GHD-node exec durations (trace spans)
 }
 
 // Service serves queries of one semiring. Instances share a plan.Cache
@@ -111,28 +115,24 @@ type Service[T any] struct {
 	name  string
 	cache *plan.Cache
 	cfg   config
-
-	requests         atomic.Int64
-	batches          atomic.Int64
-	fallbacks        atomic.Int64
-	rejected         atomic.Int64
-	errors           atomic.Int64
-	shed             atomic.Int64
-	deadlineExceeded atomic.Int64
-	panics           atomic.Int64
-	updates          atomic.Int64
-	deltaFallbacks   atomic.Int64
+	met   svcMetrics
 }
 
 // New returns a service over semiring s. name namespaces the cache keys
 // (use the wire semiring name); cache may be shared across services.
-// Options configure the exec pool, admission control, and the
-// brute-force fallback policy.
+// Options configure the exec pool, admission control, the brute-force
+// fallback policy, and observability (WithMetrics/WithTracer). Without
+// WithMetrics, counters bind to a private registry, so independently
+// constructed services never share counts.
 func New[T any](s semiring.Semiring[T], name string, cache *plan.Cache, opts ...Option) *Service[T] {
 	sv := &Service[T]{s: s, name: name, cache: cache}
 	for _, o := range opts {
 		o(&sv.cfg)
 	}
+	if sv.cfg.metrics == nil {
+		sv.cfg.metrics = obs.NewRegistry()
+	}
+	sv.met = bindMetrics(sv.cfg.metrics, name)
 	return sv
 }
 
@@ -165,21 +165,31 @@ type Stats struct {
 	DeltaFallbacks   int64  `json:"delta_fallbacks"`   // updates served by per-node recompute fallback
 }
 
-// Stats returns the current counters.
+// Stats snapshots the current counters through the registry. Each
+// counter is a single monotone atomic, so every field is individually
+// monotone across snapshots; the fields are not a consistent cut of one
+// instant. The loads are ordered inverse to the increment order —
+// outcome counters before the request counters that precede them on
+// every request path — which guarantees the snapshot never shows an
+// outcome without its request (e.g. Errors ≤ Requests,
+// DeltaFallbacks ≤ Updates ≤ Requests always hold in a snapshot taken
+// under load).
 func (sv *Service[T]) Stats() Stats {
-	return Stats{
-		Semiring:         sv.name,
-		Requests:         sv.requests.Load(),
-		Batches:          sv.batches.Load(),
-		Fallbacks:        sv.fallbacks.Load(),
-		Rejected:         sv.rejected.Load(),
-		Errors:           sv.errors.Load(),
-		Shed:             sv.shed.Load(),
-		DeadlineExceeded: sv.deadlineExceeded.Load(),
-		Panics:           sv.panics.Load(),
-		Updates:          sv.updates.Load(),
-		DeltaFallbacks:   sv.deltaFallbacks.Load(),
-	}
+	st := Stats{Semiring: sv.name}
+	// Outcome-class counters first (each is incremented strictly after
+	// the requests/updates counter on its path)...
+	st.DeltaFallbacks = sv.met.deltaFallbacks.Value()
+	st.Updates = sv.met.updates.Value()
+	st.Panics = sv.met.panics.Value()
+	st.DeadlineExceeded = sv.met.deadlineExceeded.Value()
+	st.Shed = sv.met.shed.Value()
+	st.Rejected = sv.met.rejected.Value()
+	st.Fallbacks = sv.met.fallbacks.Value()
+	st.Errors = sv.met.errors.Value()
+	// ...then the envelope counters they are subsets of.
+	st.Requests = sv.met.requests.Value()
+	st.Batches = sv.met.batches.Value()
+	return st
 }
 
 // opNames derives the renaming-invariant aggregate markers of a query's
@@ -211,11 +221,13 @@ func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Rel
 		ctx = context.Background()
 	}
 	t0 := time.Now()
-	sv.requests.Add(1)
+	sv.met.requests.Inc()
 	var info Info
 	fail := func(err error) (*relation.Relation[T], Info, error) {
 		sv.countErr(err)
 		info.TotalNS = time.Since(t0).Nanoseconds()
+		sv.met.latency.Observe(info.TotalNS)
+		sv.recordTrace(t0, &info, err, false)
 		return nil, info, err
 	}
 	if sv.cfg.gate != nil {
@@ -232,6 +244,8 @@ func (sv *Service[T]) Solve(ctx context.Context, q *faq.Query[T]) (*relation.Rel
 		return fail(err)
 	}
 	info.TotalNS = time.Since(t0).Nanoseconds()
+	sv.met.latency.Observe(info.TotalNS)
+	sv.recordTrace(t0, &info, nil, false)
 	return ans, info, nil
 }
 
@@ -267,13 +281,13 @@ func (sv *Service[T]) solveAdmitted(ctx context.Context, q *faq.Query[T], info *
 // exponential path is disabled.
 func (sv *Service[T]) admit(q *faq.Query[T], p *plan.Plan) error {
 	if p.Fallback && sv.cfg.noFallback {
-		sv.rejected.Add(1)
+		sv.met.rejected.Inc()
 		return fmt.Errorf("service: %w: %w", ErrFallbackDisabled, faq.ErrFreeOutsideRoot)
 	}
 	if sv.cfg.budget > 0 {
 		n := q.MaxFactorSize()
 		if est := p.EstimateBytes(n); est > float64(sv.cfg.budget) {
-			sv.rejected.Add(1)
+			sv.met.rejected.Inc()
 			return &BudgetError{EstimateBytes: est, BudgetBytes: sv.cfg.budget, PlanHash: p.Hash, N: n}
 		}
 	}
@@ -282,7 +296,10 @@ func (sv *Service[T]) admit(q *faq.Query[T], p *plan.Plan) error {
 
 // execute binds and runs one request against a resolved plan.
 func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan, fp *plan.Fingerprint, info *Info) (*relation.Relation[T], error) {
-	if err := sv.admit(q, p); err != nil {
+	ta := time.Now()
+	err := sv.admit(q, p)
+	info.AdmitNS = time.Since(ta).Nanoseconds()
+	if err != nil {
 		return nil, err
 	}
 	if err := solveSite.Hit(ctx); err != nil {
@@ -290,7 +307,7 @@ func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan
 	}
 	if p.Fallback {
 		info.Fallback = true
-		sv.fallbacks.Add(1)
+		sv.met.fallbacks.Inc()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -315,6 +332,7 @@ func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan
 	if err != nil {
 		return nil, err
 	}
+	info.NodeNS = m.Costs
 	p.RecordExec(m.Costs)
 	return ans, nil
 }
@@ -372,7 +390,7 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sv.batches.Add(1)
+	sv.met.batches.Inc()
 	n := len(qs)
 	answers := make([]*relation.Relation[T], n)
 	infos := make([]Info, n)
@@ -382,7 +400,7 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 	if sv.cfg.gate != nil {
 		if !sv.cfg.gate.TryAcquire() {
 			for i := range qs {
-				sv.requests.Add(1)
+				sv.met.requests.Inc()
 				errs[i] = sv.shedReject()
 				sv.countErr(errs[i])
 			}
@@ -410,17 +428,17 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 	fps := make([]*plan.Fingerprint, n)
 	exec.Default().Map(n, func(i int) {
 		starts[i] = time.Now()
-		sv.requests.Add(1)
+		sv.met.requests.Inc()
 		q := qs[i]
 		if err := q.Validate(); err != nil {
 			errs[i] = err
-			sv.errors.Add(1)
+			sv.met.errors.Inc()
 			return
 		}
 		fp, err := plan.Canonicalize(q.H, q.Free, opNames(q))
 		if err != nil {
 			errs[i] = err
-			sv.errors.Add(1)
+			sv.met.errors.Inc()
 			return
 		}
 		fps[i] = fp
@@ -482,9 +500,15 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 		if g == nil {
 			return // failed phase 1 (error already recorded)
 		}
+		finish := func(err error) {
+			infos[i].TotalNS = time.Since(starts[i]).Nanoseconds()
+			sv.met.latency.Observe(infos[i].TotalNS)
+			sv.recordTrace(starts[i], &infos[i], err, true)
+		}
 		if g.err != nil {
 			errs[i] = g.err
 			sv.countErr(g.err)
+			finish(g.err)
 			return
 		}
 		var ans *relation.Relation[T]
@@ -496,10 +520,11 @@ func (sv *Service[T]) SolveBatch(ctx context.Context, qs []*faq.Query[T]) ([]*re
 		if err != nil {
 			errs[i] = err
 			sv.countErr(err)
+			finish(err)
 			return
 		}
 		answers[i] = ans
-		infos[i].TotalNS = time.Since(starts[i]).Nanoseconds()
+		finish(nil)
 	})
 	return answers, infos, errs
 }
