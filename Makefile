@@ -33,6 +33,15 @@
 #                 /metrics exposition: faqload's -url mode strict-parses
 #                 the scrape at each phase boundary and fails unless the
 #                 key series moved (part of `make check` and CI)
+#   make smoke-cluster — boot three faqw shard workers plus a faqd
+#                 coordinator wired to them (-workers host:port list),
+#                 drive the faqload workload through HTTP (every answer
+#                 verified bit-identical to the local reference), then
+#                 run faqbench -cluster, which gates measured
+#                 bytes-on-wire against the closed-form
+#                 cluster.PayloadBound (part of `make check` and CI)
+#   make bench-cluster — distributed-engine bytes-on-wire vs closed-form
+#                 bounds at full size → BENCH_cluster.json
 #   make examples — build and run every examples/ program (all are
 #                 clients of the public faqs façade; wired into CI)
 #   make lint   — faqlint, the repo's static-analysis suite
@@ -58,22 +67,27 @@ BENCHTIME ?= 0.5s
 FUZZTIME  ?= 30s
 SMOKEADDR ?= 127.0.0.1:18080
 METRICSADDR ?= 127.0.0.1:18081
+CLUSTERADDR ?= 127.0.0.1:18082
+WORKERADDR1 ?= 127.0.0.1:18091
+WORKERADDR2 ?= 127.0.0.1:18092
+WORKERADDR3 ?= 127.0.0.1:18093
 
 # The packages holding the parallel≡sequential equivalence suites.
 WORKER_PKGS = ./internal/relation/ ./internal/protocol/ ./internal/faq/ ./internal/exec/ ./internal/flow/ ./internal/plan/ ./internal/service/ ./internal/delta/ ./internal/delta/churn/ ./faqs/
 
-.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-incremental bench-all fuzz test-workers bench-service smoke-service smoke-metrics examples
+.PHONY: build test vet lint vet-imports race check chaos bench bench-parallel bench-incremental bench-cluster bench-all fuzz test-workers bench-service smoke-service smoke-metrics smoke-cluster examples
 
 # The packages holding chaos (failpoint-sweep) TestChaos* suites: the
 # serving path, the incremental-maintenance engine, the kernels, the
-# exec pool, the netsim ledger, the public façade, and the daemon's
+# exec pool, the netsim ledger, the rpc transport, the scatter/gather
+# coordinator, the public façade, and the daemon's
 # HTTP boundary. This list must mirror
 # the failpoint analyzer's ChaosPackages (internal/lint/failpoint.go):
 # the analyzer flags arming tests in packages outside it, so the two
 # cannot drift silently. The fault registry's own unit suite runs in
 # tier-1/`make race` — its arming calls are exercises of the registry,
 # not chaos sweeps (analyzer Exempt entry).
-CHAOS_PKGS = ./internal/service/ ./internal/delta/ ./internal/relation/ ./internal/protocol/ ./internal/exec/ ./faqs/ ./cmd/faqd/
+CHAOS_PKGS = ./internal/service/ ./internal/delta/ ./internal/relation/ ./internal/protocol/ ./internal/exec/ ./internal/rpc/ ./internal/cluster/ ./faqs/ ./cmd/faqd/
 
 build:
 	$(GO) build ./...
@@ -95,7 +109,7 @@ vet-imports:
 race:
 	$(GO) test -race ./...
 
-check: build vet lint test chaos smoke-metrics
+check: build vet lint test chaos smoke-metrics smoke-cluster
 
 chaos:
 	FAQ_WORKERS=1 $(GO) test -race -count=1 -run '^TestChaos' $(CHAOS_PKGS)
@@ -119,6 +133,9 @@ bench-parallel:
 
 bench-incremental:
 	$(GO) run ./cmd/faqbench -incremental
+
+bench-cluster:
+	$(GO) run ./cmd/faqbench -cluster
 
 bench-all:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
@@ -168,4 +185,38 @@ smoke-metrics:
 	/tmp/faqload-smoke -url http://$(METRICSADDR) -requests 20 -n 128 -out /tmp/faqd-smoke-metrics.json; \
 	STATUS=$$?; \
 	kill $$FAQD_PID 2>/dev/null; \
+	exit $$STATUS
+
+# smoke-cluster boots the real distributed stack on loopback — three
+# faqw shard workers plus a faqd coordinator scattering to them — and
+# drives the faqload workload through it: every served answer is
+# verified bit-identical to faqload's local reference, so a sharding or
+# merge bug in the cluster path is a smoke failure, not a silent wrong
+# answer. It then runs faqbench -cluster at a small n, which re-gates
+# measured bytes-on-wire against the closed-form cluster.PayloadBound
+# on fleets of 1/2/4/8 workers.
+smoke-cluster:
+	$(GO) build -o /tmp/faqd-smoke ./cmd/faqd
+	$(GO) build -o /tmp/faqw-smoke ./cmd/faqw
+	$(GO) build -o /tmp/faqload-smoke ./cmd/faqload
+	$(GO) build -o /tmp/faqbench-smoke ./cmd/faqbench
+	@/tmp/faqw-smoke -addr $(WORKERADDR1) & \
+	W1=$$!; \
+	/tmp/faqw-smoke -addr $(WORKERADDR2) & \
+	W2=$$!; \
+	/tmp/faqw-smoke -addr $(WORKERADDR3) & \
+	W3=$$!; \
+	/tmp/faqd-smoke -addr $(CLUSTERADDR) -cache 64 -workers $(WORKERADDR1),$(WORKERADDR2),$(WORKERADDR3) & \
+	FAQD_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(CLUSTERADDR)/healthz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	/tmp/faqload-smoke -url http://$(CLUSTERADDR) -requests 8 -n 128; \
+	STATUS=$$?; \
+	if [ $$STATUS -eq 0 ]; then \
+		/tmp/faqbench-smoke -cluster /tmp/BENCH_cluster_smoke.json 512; \
+		STATUS=$$?; \
+	fi; \
+	kill $$FAQD_PID $$W1 $$W2 $$W3 2>/dev/null; \
 	exit $$STATUS

@@ -1,0 +1,289 @@
+package main
+
+// The -cluster dimension: bytes-on-wire of the real distributed
+// engine, measured against its closed-form bound and written to
+// BENCH_cluster.json. Per standing workload template (path7 / star6 /
+// tree6 / tri-pendant, Count semiring) and per fleet width W ∈
+// {1,2,4,8}:
+//
+//   - a real loopback fleet — W faqw-style shard workers behind the
+//     rpc TCP transport — runs the scatter/gather pass; the answer is
+//     verified bit-identical to the single-process faq.SolveGHD, and
+//     the measured solve payload (encoded message bytes, headers
+//     excluded) is gated against cluster.PayloadBound's closed-form
+//     prediction. A violation aborts the run before anything is
+//     written: the artifact only ever records measured ≤ bound.
+//   - the same pass re-runs on the in-process netsim transport, whose
+//     capacity ledger books frames into synchronized rounds on a
+//     Star(W+1) topology — the cluster analogue of the paper's
+//     round/bit accounting.
+//   - the paper-model reference: protocol.Run on Star(E+1) with one
+//     factor per leaf, reporting the Theorem 4.1 round and bit cost
+//     the engineered numbers sit next to.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/delta/churn"
+	"repro/internal/faq"
+	"repro/internal/protocol"
+	"repro/internal/relation"
+	"repro/internal/rpc"
+	"repro/internal/semiring"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+type clusterPoint struct {
+	Workers           int   `json:"workers"`
+	WallNS            int64 `json:"wall_ns"`
+	SolvePayloadBytes int64 `json:"solve_payload_bytes"`
+	PayloadBoundBytes int64 `json:"payload_bound_bytes"`
+	LoadPayloadBytes  int64 `json:"load_payload_bytes"`
+	WireOutBytes      int64 `json:"wire_out_bytes"`
+	WireInBytes       int64 `json:"wire_in_bytes"`
+	Frames            int64 `json:"frames"`
+	Phases            int64 `json:"phases"`
+	SimRounds         int   `json:"sim_rounds"`
+	SimBits           int64 `json:"sim_bits"`
+	BitIdentical      bool  `json:"bit_identical"`
+	WithinBound       bool  `json:"within_bound"`
+}
+
+type clusterBench struct {
+	Template       string         `json:"template"`
+	N              int            `json:"n"`
+	Dom            int            `json:"dom"`
+	Nodes          int            `json:"ghd_nodes"`
+	ProtocolRounds int            `json:"protocol_rounds"`
+	ProtocolBits   int64          `json:"protocol_bits"`
+	Points         []clusterPoint `json:"points"`
+}
+
+type clusterReport struct {
+	HostCPUs    int            `json:"host_cpus"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Methodology string         `json:"methodology"`
+	Benchmarks  []clusterBench `json:"benchmarks"`
+}
+
+// clusterQuery builds the seeded Count workload for one template: n
+// uniform tuples per factor over [0, dom) with values in {1,2,3}.
+func clusterQuery(tpl workload.Template, n, dom int, seed int64) (*faq.Query[int64], error) {
+	s := semiring.Count{}
+	shape, err := churn.BuildQuery(s, tpl, dom, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	factors := make([]*relation.Relation[int64], shape.H.NumEdges())
+	for e := range factors {
+		schema := shape.H.Edge(e)
+		b := relation.NewBuilderHint(s, schema, n)
+		row := make([]int32, len(schema))
+		for i := 0; i < n; i++ {
+			for k := range row {
+				row[k] = int32(r.Intn(dom))
+			}
+			b.AddRow(row, int64(1+r.Intn(3)))
+		}
+		factors[e] = b.Build()
+	}
+	return churn.BuildQuery(s, tpl, dom, factors)
+}
+
+// tcpFleet starts W loopback shard workers and a coordinator dialing
+// them; stop tears the whole fleet down.
+func tcpFleetBench(workers int) (c *cluster.Client, stop func(), err error) {
+	srvs := make([]*rpc.Server, 0, workers)
+	stopAll := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	addrs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		srv, err := rpc.Serve("127.0.0.1:0", cluster.NewWorker().Handle)
+		if err != nil {
+			stopAll()
+			return nil, nil, err
+		}
+		srvs = append(srvs, srv)
+		addrs[w] = srv.Addr()
+	}
+	tr, err := cluster.NewTCPTransport(addrs, cluster.TCPOptions{})
+	if err != nil {
+		stopAll()
+		return nil, nil, err
+	}
+	c = cluster.NewClient(tr, cluster.Options{})
+	return c, func() { c.Close(); stopAll() }, nil
+}
+
+func runClusterBench(tpl workload.Template, n, dom int, workerCounts []int) (clusterBench, error) {
+	bench := clusterBench{Template: tpl.Name, N: n, Dom: dom}
+	sc := semiring.Count{}
+	q, err := clusterQuery(tpl, n, dom, 1)
+	if err != nil {
+		return bench, err
+	}
+	g, err := faq.PlanGHD(q.H, q.Free)
+	if err != nil {
+		return bench, err
+	}
+	bench.Nodes = g.NumNodes()
+	want, _, err := faq.SolveGHD(nil, q, g, faq.SolveOptions{})
+	if err != nil {
+		return bench, err
+	}
+
+	// Paper-model reference: the protocol engine on a star network with
+	// one factor per leaf and the answer at the hub.
+	assign := make(protocol.Assignment, q.H.NumEdges())
+	for e := range assign {
+		assign[e] = e + 1
+	}
+	pAns, rep, err := protocol.Run(&protocol.Setup[int64]{
+		Q: q, G: topology.Star(q.H.NumEdges() + 1), Assign: assign, Output: 0,
+	})
+	if err != nil {
+		return bench, fmt.Errorf("%s: protocol.Run: %w", tpl.Name, err)
+	}
+	if !relation.Equal(sc, pAns, want) {
+		return bench, fmt.Errorf("%s: protocol.Run answer differs from local", tpl.Name)
+	}
+	bench.ProtocolRounds, bench.ProtocolBits = rep.Rounds, rep.Bits
+
+	for _, w := range workerCounts {
+		bound, err := cluster.PayloadBound(q, g, w)
+		if err != nil {
+			return bench, fmt.Errorf("%s W=%d: %w", tpl.Name, w, err)
+		}
+
+		c, stop, err := tcpFleetBench(w)
+		if err != nil {
+			return bench, err
+		}
+		solver, err := cluster.NewSolver[int64](c, "count")
+		if err != nil {
+			stop()
+			return bench, err
+		}
+		t0 := time.Now()
+		ans, err := solver.SolveGHD(nil, q, g)
+		wall := time.Since(t0).Nanoseconds()
+		if err != nil {
+			stop()
+			return bench, fmt.Errorf("%s W=%d: %w", tpl.Name, w, err)
+		}
+		st := c.Stats()
+		stop()
+		if !relation.Equal(sc, ans, want) {
+			return bench, fmt.Errorf("%s W=%d: cluster answer not bit-identical to local", tpl.Name, w)
+		}
+		if st.SolvePayloadBytes > bound {
+			// Fail before anything is written: a BENCH_cluster.json must
+			// never record a run whose traffic escaped its bound.
+			return bench, fmt.Errorf("%s W=%d: measured solve payload %d B exceeds closed-form bound %d B",
+				tpl.Name, w, st.SolvePayloadBytes, bound)
+		}
+
+		// Same pass over the netsim ledger: synchronized rounds on the
+		// Star(W+1) channel model instead of loopback sockets.
+		sim, err := cluster.NewSimTransport(w, 0)
+		if err != nil {
+			return bench, err
+		}
+		simC := cluster.NewClient(sim, cluster.Options{})
+		simSolver, err := cluster.NewSolver[int64](simC, "count")
+		if err != nil {
+			return bench, err
+		}
+		simAns, err := simSolver.SolveGHD(nil, q, g)
+		if err != nil {
+			return bench, fmt.Errorf("%s W=%d sim: %w", tpl.Name, w, err)
+		}
+		if !relation.Equal(sc, simAns, want) {
+			return bench, fmt.Errorf("%s W=%d: netsim answer not bit-identical to local", tpl.Name, w)
+		}
+
+		bench.Points = append(bench.Points, clusterPoint{
+			Workers:           w,
+			WallNS:            wall,
+			SolvePayloadBytes: st.SolvePayloadBytes,
+			PayloadBoundBytes: bound,
+			LoadPayloadBytes:  st.LoadPayloadBytes,
+			WireOutBytes:      st.WireOutBytes,
+			WireInBytes:       st.WireInBytes,
+			Frames:            st.Frames,
+			Phases:            st.Phases,
+			SimRounds:         sim.Rounds(),
+			SimBits:           sim.TotalBits(),
+			BitIdentical:      true,
+			WithinBound:       true,
+		})
+	}
+	return bench, nil
+}
+
+// runCluster executes the distributed-engine benchmarks and writes the
+// JSON artifact. An empty outPath prints the table without writing.
+func runCluster(outPath string, n int) error {
+	rep := clusterReport{
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Methodology: "Per template and fleet width W: a loopback TCP fleet (W shard workers behind " +
+			"the internal/rpc framed transport) runs the scatter/gather GHD pass; " +
+			"solve_payload_bytes is the coordinator's encoded-message accounting (frame headers " +
+			"excluded) and must not exceed payload_bound_bytes = cluster.PayloadBound's static " +
+			"per-hop bound (gather ≤ min(N, W·D^|keep|) rows, scatter ≤ min(N, D^|keep|) rows, " +
+			"of shard.RowWireBytes(|keep|) each, plus per-slice headers). sim_rounds/sim_bits " +
+			"replay the identical pass on the netsim capacity ledger (Star(W+1), synchronized " +
+			"rounds); protocol_rounds/protocol_bits are the paper-model protocol.Run on Star(E+1). " +
+			"Every answer — TCP, netsim, and protocol — is verified bit-identical to the " +
+			"single-process faq.SolveGHD before any number is reported.",
+	}
+	const dom = 64
+	for _, tpl := range workload.Templates() {
+		b, err := runClusterBench(tpl, n, dom, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("distributed scatter/gather engine, n=%d dom=%d (host: %d CPU(s))\n", n, dom, rep.HostCPUs)
+	fmt.Printf("%-12s %-8s %-12s %-12s %-8s %-12s %-10s %-10s\n",
+		"template", "workers", "payload_B", "bound_B", "used", "wire_out_B", "rounds", "wall_ms")
+	for _, b := range rep.Benchmarks {
+		for _, p := range b.Points {
+			fmt.Printf("%-12s %-8d %-12d %-12d %-8s %-12d %-10d %-10.2f\n",
+				b.Template, p.Workers, p.SolvePayloadBytes, p.PayloadBoundBytes,
+				fmt.Sprintf("%.0f%%", 100*float64(p.SolvePayloadBytes)/float64(p.PayloadBoundBytes)),
+				p.WireOutBytes, p.SimRounds, float64(p.WallNS)/1e6)
+		}
+		fmt.Printf("%-12s paper-model star protocol: %d rounds, %d bits\n",
+			b.Template, b.ProtocolRounds, b.ProtocolBits)
+	}
+	if outPath != "" {
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 //	faqbench [experiment ...]
 //	faqbench -parallel [out.json]
 //	faqbench -incremental [out.json]
+//	faqbench -cluster [out.json [n]]
 //
 // With no arguments every experiment runs. Available experiment ids:
 // widths, table1, examples, example24, setint, taumcf, mcm, entropy,
@@ -20,11 +21,18 @@
 // latency of a materialized view vs a full from-scratch re-solve on
 // path7/star6/tree6 at n = 1e4 and 1e5, written to
 // BENCH_incremental.json. See incremental.go for the methodology.
+//
+// -cluster benchmarks the real distributed engine: loopback TCP fleets
+// of 1/2/4/8 shard workers run the scatter/gather GHD pass per workload
+// template, the measured bytes-on-wire are gated against the
+// closed-form cluster.PayloadBound, and the netsim/paper-model costs
+// are reported alongside in BENCH_cluster.json. See cluster.go.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/experiments"
 )
@@ -50,6 +58,21 @@ func run(args []string) error {
 			out = args[1]
 		}
 		return runIncremental(out)
+	}
+	if len(args) > 0 && args[0] == "-cluster" {
+		out := "BENCH_cluster.json"
+		n := 2000
+		if len(args) > 1 {
+			out = args[1]
+		}
+		if len(args) > 2 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v <= 0 {
+				return fmt.Errorf("-cluster: bad n %q", args[2])
+			}
+			n = v
+		}
+		return runCluster(out, n)
 	}
 	registry := map[string]func() (*experiments.Table, error){
 		"widths":    experiments.WidthTable,

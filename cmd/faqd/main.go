@@ -45,6 +45,13 @@
 //
 //	faqd -addr :8080 -cache 256 -workers 0 -budget 0 \
 //	     -deadline 30s -inflight 0 -drain 10s
+//
+// Passing a comma-separated host:port list to -workers instead of an
+// integer turns on distributed execution over a faqw shard-worker
+// fleet (see README, Cluster operations): eligible solves scatter
+// hash-partitioned factors across the fleet and gather per-worker
+// partial aggregates; everything else falls back to the local pass
+// with identical answers.
 package main
 
 import (
@@ -60,6 +67,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -187,27 +195,64 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", 0, "plan cache capacity in compiled query shapes (0 = default)")
-	workers := flag.Int("workers", 0, "exec pool workers (0 = GOMAXPROCS)")
+	workers := flag.String("workers", "0", "local exec pool workers (integer, 0 = GOMAXPROCS), or a comma-separated faqw fleet (host:port,...) for distributed execution")
 	budget := flag.Int64("budget", 0, "per-request memory budget in bytes for admission control (0 = unlimited)")
 	deadline := flag.Duration("deadline", 30*time.Second, "per-request solve deadline (0 = none)")
 	inflight := flag.Int("inflight", 0, "max concurrent solves before shedding with 503 (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
-	if *workers > 0 {
-		faqs.SetDefaultWorkers(*workers)
-	}
-	srv := newServer(
+	opts := []faqs.Option{
 		faqs.WithPlanCache(*cacheSize),
 		faqs.WithMemoryBudget(*budget),
 		faqs.WithDeadline(*deadline),
 		faqs.WithMaxInFlight(*inflight),
-	)
+	}
+	// -workers is overloaded: a plain integer sizes the in-process exec
+	// pool (the historical meaning), while anything with a ':' or ',' is
+	// a faqw worker address list and turns on cluster execution.
+	var clusterAddrs []string
+	if strings.ContainsAny(*workers, ":,") {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterAddrs = append(clusterAddrs, a)
+			}
+		}
+		if len(clusterAddrs) == 0 {
+			fmt.Fprintf(os.Stderr, "faqd: -workers %q has no usable addresses\n", *workers)
+			os.Exit(2)
+		}
+		opts = append(opts, faqs.WithClusterWorkers(clusterAddrs...))
+	} else {
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faqd: -workers must be an integer or host:port,... list: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			faqs.SetDefaultWorkers(n)
+		}
+	}
+	srv := newServer(opts...)
+	defer srv.engine.Close()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.log = logger
+	if len(clusterAddrs) > 0 {
+		// Startup handshake: every worker must answer a ping before the
+		// daemon takes traffic. The transport already retries connection
+		// refused with backoff, so worker launch order does not matter.
+		pingCtx, cancelPing := context.WithTimeout(context.Background(), 30*time.Second)
+		err := srv.engine.PingCluster(pingCtx)
+		cancelPing()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faqd: cluster handshake failed: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("faqd: cluster handshake complete", "workers", len(clusterAddrs))
+	}
 	logger.Info("faqd: listening",
 		"addr", *addr,
 		"cache_plans", srv.engine.Stats().Cache.Capacity,
-		"workers", faqs.DefaultWorkers(),
+		"workers", *workers,
 		"budget", *budget,
 		"deadline", *deadline,
 		"inflight", *inflight,
@@ -436,18 +481,20 @@ func solveError(w http.ResponseWriter, err error) {
 
 // solveErrorStatus classifies serving failures: budget admission
 // rejections are 429 (the request itself is too big — retrying
-// unchanged cannot succeed), overload shedding and deadline hits are
-// transient 503s worth retrying after backoff, recovered panics and
-// injected faults are 500s, and everything else is an unprocessable
-// request.
+// unchanged cannot succeed), overload shedding, deadline hits, and an
+// unreachable worker fleet are transient 503s worth retrying after
+// backoff (workers are stateless, so a restarted fleet serves the
+// retry), recovered panics and injected faults are 500s, and
+// everything else is an unprocessable request.
 func solveErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, faqs.ErrOverBudget):
 		return http.StatusTooManyRequests
-	case errors.Is(err, faqs.ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
 	case errors.Is(err, faqs.ErrInternal), errors.Is(err, faqs.ErrInjected):
 		return http.StatusInternalServerError
+	case errors.Is(err, faqs.ErrOverloaded), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, faqs.ErrClusterUnavailable):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -159,6 +160,12 @@ func TestSolveHandlerErrors(t *testing.T) {
 	tight := newServer(faqs.WithPlanCache(16), faqs.WithMemoryBudget(8)).mux()
 	if rec := postJSON(t, tight, "/solve", testRequest()); rec.Code != http.StatusTooManyRequests {
 		t.Errorf("over budget: status %d, want 429", rec.Code)
+	}
+
+	// An unreachable worker fleet is a transient serving failure, not a
+	// problem with the query: retryable 503, never 422.
+	if code := solveErrorStatus(fmt.Errorf("solve: %w", faqs.ErrClusterUnavailable)); code != http.StatusServiceUnavailable {
+		t.Errorf("cluster unavailable: status %d, want 503", code)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -41,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/faqs"
@@ -438,11 +440,30 @@ func run(out string, requests, n, dom int, workerSpec string, seed int64, url st
 // backoff before giving up on a persistently unavailable server.
 const retryAttempts = 5
 
+// startupRetryAttempts is the larger budget for connection-refused
+// failures: faqload is routinely launched alongside faqd (make
+// smoke-cluster starts both and the daemon additionally handshakes its
+// worker fleet before listening), so a refused connection usually means
+// "not up yet", not "down".
+const startupRetryAttempts = 12
+
+// maxRetryBackoff caps the doubling so the longer startup budget waits
+// in steady 2 s steps instead of minutes.
+const maxRetryBackoff = 2 * time.Second
+
+// connRefused reports a connection-refused transport failure — the one
+// error class where waiting out a server still starting up is the
+// expected cure.
+func connRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
 // postRetry posts body, retrying transient failures — transport errors
 // and 503 responses — with seeded-jitter exponential backoff, honoring
-// the server's Retry-After hint when present. Non-transient statuses
-// (429 budget rejections cannot succeed unchanged; 4xx/5xx otherwise
-// are the caller's to report) return immediately.
+// the server's Retry-After hint when present. Connection-refused gets
+// the extended startup budget. Non-transient statuses (429 budget
+// rejections cannot succeed unchanged; 4xx/5xx otherwise are the
+// caller's to report) return immediately.
 func postRetry(client *http.Client, rng *rand.Rand, url string, body []byte) (*http.Response, error) {
 	backoff := 100 * time.Millisecond
 	for attempt := 1; ; attempt++ {
@@ -450,7 +471,11 @@ func postRetry(client *http.Client, rng *rand.Rand, url string, body []byte) (*h
 		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
 			return resp, nil
 		}
-		if attempt == retryAttempts {
+		budget := retryAttempts
+		if connRefused(err) {
+			budget = startupRetryAttempts
+		}
+		if attempt >= budget {
 			if err != nil {
 				return nil, fmt.Errorf("after %d attempts: %w", attempt, err)
 			}
@@ -466,7 +491,9 @@ func postRetry(client *http.Client, rng *rand.Rand, url string, body []byte) (*h
 			resp.Body.Close()
 		}
 		time.Sleep(wait)
-		backoff *= 2
+		if backoff < maxRetryBackoff {
+			backoff *= 2
+		}
 	}
 }
 
@@ -500,8 +527,19 @@ type remoteReport struct {
 
 // metricsScrape GETs the target's /metrics and round-trips it through
 // the strict exposition parser — a malformed document fails the smoke.
-func metricsScrape(client *http.Client, url string) (*obs.Scrape, error) {
+// The first scrape of a run is the startup handshake (it happens before
+// any solve), so connection-refused is retried with the same
+// seeded-jitter backoff postRetry uses.
+func metricsScrape(client *http.Client, rng *rand.Rand, url string) (*obs.Scrape, error) {
 	resp, err := client.Get(url + "/metrics")
+	backoff := 100 * time.Millisecond
+	for attempt := 1; connRefused(err) && attempt < startupRetryAttempts; attempt++ {
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff < maxRetryBackoff {
+			backoff *= 2
+		}
+		resp, err = client.Get(url + "/metrics")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("GET /metrics: %w", err)
 	}
@@ -594,7 +632,7 @@ func runRemote(url, out string, requests, n, dom int, seed int64, hs []*hypergra
 	}
 
 	runPhase := func(from, to int) (remotePhase, *obs.Scrape, error) {
-		before, err := metricsScrape(client, url)
+		before, err := metricsScrape(client, rng, url)
 		if err != nil {
 			return remotePhase{}, nil, err
 		}
@@ -606,7 +644,7 @@ func runRemote(url, out string, requests, n, dom int, seed int64, hs []*hypergra
 			}
 			lats = append(lats, lat)
 		}
-		after, err := metricsScrape(client, url)
+		after, err := metricsScrape(client, rng, url)
 		if err != nil {
 			return remotePhase{}, nil, err
 		}
@@ -642,7 +680,6 @@ func runRemote(url, out string, requests, n, dom int, seed int64, hs []*hypergra
 		labels map[string]string
 	}{
 		{"faq_service_requests_total", latencyLabels},
-		{"faq_exec_tasks_total", nil},
 		{"faq_plan_cache_misses_total", nil},
 		{"faq_go_goroutines", nil},
 		{"faqd_http_requests_total", map[string]string{"path": "/solve", "code": "200"}},
@@ -651,6 +688,15 @@ func runRemote(url, out string, requests, n, dom int, seed int64, hs []*hypergra
 			return fmt.Errorf("key series %s%v is missing or zero after %d requests (v=%v ok=%v)",
 				check.series, check.labels, requests, v, ok)
 		}
+	}
+	// The solve work must have landed somewhere: an in-process engine
+	// drives the exec pool, while a cluster-backed faqd scatters the
+	// pass to its shard workers and books the traffic under
+	// protocol="cluster" instead.
+	execTasks, _ := final.Value("faq_exec_tasks_total", nil)
+	clusterBytes, _ := final.Value("faq_protocol_bytes_total", map[string]string{"protocol": "cluster"})
+	if execTasks < 1 && clusterBytes < 1 {
+		return fmt.Errorf("neither faq_exec_tasks_total nor faq_protocol_bytes_total{protocol=cluster} moved after %d requests", requests)
 	}
 	shed, _ := final.Value("faq_service_shed_total", latencyLabels)
 	deadlines, _ := final.Value("faq_service_deadline_exceeded_total", latencyLabels)

@@ -1,0 +1,51 @@
+// Command faqw is a FAQ shard worker: one node of the distributed
+// execution fleet behind faqd's -workers flag. It holds hash-partitioned
+// shards of the query's factor relations plus the routed message slices
+// the coordinator scatters at it, and runs the per-node join/aggregate
+// kernels of the GHD bottom-up pass locally, returning partial
+// aggregates for the coordinator to ⊕-merge.
+//
+// The protocol is the length-prefixed binary framing of internal/rpc
+// over plain TCP; a worker serves one coordinator session at a time
+// (sessions are reset per solve) but accepts any number of connections.
+// Workers are stateless across sessions — kill and restart freely; the
+// coordinator redials with backoff.
+//
+// Usage:
+//
+//	faqw -addr 127.0.0.1:9101
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/faqs"
+)
+
+func main() {
+	addr := flag.String("addr", ":9101", "listen address (host:port; port 0 picks a free port)")
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	w, err := faqs.ServeWorker(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faqw: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("faqw: serving", "addr", w.Addr())
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-sigCtx.Done()
+	stop()
+	logger.Info("faqw: shutdown signal received")
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "faqw: close: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("faqw: shutdown complete")
+}

@@ -1,0 +1,122 @@
+package faqs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+)
+
+// WithClusterWorkers switches the engine to distributed execution over a
+// fleet of faqw shard workers at the given host:port addresses. Queries
+// the coordinator can shard (GHD passes with one factor per node and no
+// per-variable aggregate overrides) run as real scatter/gather over the
+// fleet; anything else transparently falls back to the local pass, so an
+// engine with workers serves exactly the query surface of one without.
+// Answers are bit-identical to local execution for exact semirings.
+// Blank addresses are ignored; with no usable address the engine stays
+// local. Call Engine.Close to release the worker connections.
+func WithClusterWorkers(addrs ...string) Option {
+	return func(c *engineConfig) {
+		for _, a := range addrs {
+			if a != "" {
+				c.clusterAddrs = append(c.clusterAddrs, a)
+			}
+		}
+	}
+}
+
+// ErrClusterUnavailable marks solves that failed because a worker
+// could not be reached — dial, send, or receive transport errors, as
+// opposed to anything wrong with the query. The fleet may be
+// mid-restart: workers are stateless across solves, so the request is
+// retryable and the next solve redials. cmd/faqd maps it to
+// 503 + Retry-After.
+var ErrClusterUnavailable = cluster.ErrUnavailable
+
+// ClusterStats snapshots the coordinator's cumulative counters: solve
+// and frame totals, relation-bearing message counts (transport-
+// independent — the differential harness asserts they match between the
+// simulated and TCP transports), encoded-relation payload bytes, and
+// raw wire bytes including frame headers.
+type ClusterStats struct {
+	Workers           int   `json:"workers"`
+	Solves            int64 `json:"solves"`
+	Frames            int64 `json:"frames"`
+	LoadShards        int64 `json:"load_shards"`
+	SolveMessages     int64 `json:"solve_messages"`
+	LoadPayloadBytes  int64 `json:"load_payload_bytes"`
+	SolvePayloadBytes int64 `json:"solve_payload_bytes"`
+	Phases            int64 `json:"phases"`
+	WireOutBytes      int64 `json:"wire_out_bytes"`
+	WireInBytes       int64 `json:"wire_in_bytes"`
+}
+
+// ClusterStats returns the coordinator counters and whether this engine
+// has a worker fleet at all (false means purely local execution).
+func (e *Engine) ClusterStats() (ClusterStats, bool) {
+	if e.cluster == nil {
+		return ClusterStats{}, false
+	}
+	s := e.cluster.Stats()
+	return ClusterStats{
+		Workers:           s.Workers,
+		Solves:            s.Solves,
+		Frames:            s.Frames,
+		LoadShards:        s.LoadShards,
+		SolveMessages:     s.SolveMessages,
+		LoadPayloadBytes:  s.LoadPayloadBytes,
+		SolvePayloadBytes: s.SolvePayloadBytes,
+		Phases:            s.Phases,
+		WireOutBytes:      s.WireOutBytes,
+		WireInBytes:       s.WireInBytes,
+	}, true
+}
+
+// PingCluster round-trips a liveness probe to every configured worker —
+// the startup handshake cmd/faqd runs before serving traffic. It is a
+// no-op (nil) on engines without a worker fleet.
+func (e *Engine) PingCluster(ctx context.Context) error {
+	if e.cluster == nil {
+		return nil
+	}
+	return e.cluster.Ping(ctx)
+}
+
+// Close releases engine resources that reach outside the process — the
+// pooled worker connections of WithClusterWorkers. Engines without a
+// fleet have nothing to release; Close is always safe to call.
+func (e *Engine) Close() error {
+	if e.cluster == nil {
+		return nil
+	}
+	return e.cluster.Close()
+}
+
+// WorkerServer is one running faqw shard worker: an RPC listener wired
+// to a cluster worker session. The zero value is not usable — construct
+// with ServeWorker.
+type WorkerServer struct {
+	srv *rpc.Server
+}
+
+// ServeWorker starts a shard worker listening on addr (host:port; port 0
+// picks a free port — read it back from Addr). The worker holds one
+// coordinator session at a time: hash-partitioned factor shards, routed
+// message slices, and the per-node join/aggregate kernels of the GHD
+// bottom-up pass. It serves until Close.
+func ServeWorker(addr string) (*WorkerServer, error) {
+	w := cluster.NewWorker()
+	srv, err := rpc.Serve(addr, w.Handle)
+	if err != nil {
+		return nil, fmt.Errorf("faqs: worker listen: %w", err)
+	}
+	return &WorkerServer{srv: srv}, nil
+}
+
+// Addr returns the listener's bound address.
+func (w *WorkerServer) Addr() string { return w.srv.Addr() }
+
+// Close stops the listener and drops every coordinator connection.
+func (w *WorkerServer) Close() error { return w.srv.Close() }

@@ -1,0 +1,131 @@
+package faqs
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// startFleet launches n in-process faqw workers on loopback listeners.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+		if !strings.Contains(addrs[i], ":") {
+			t.Fatalf("worker address %q has no port", addrs[i])
+		}
+	}
+	return addrs
+}
+
+// TestEngineClusterDifferential is the façade-level differential: the
+// same queries served by a local engine and by a cluster-backed engine
+// over three real workers must produce identical results — schemas,
+// tuples, and (for exact semirings) bit-identical values.
+func TestEngineClusterDifferential(t *testing.T) {
+	addrs := startFleet(t, 3)
+	clustered := NewEngine(WithClusterWorkers(addrs...))
+	defer clustered.Close()
+	local := NewEngine()
+	defer local.Close()
+
+	if err := clustered.PingCluster(context.Background()); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if _, ok := local.ClusterStats(); ok {
+		t.Fatal("local engine claims a worker fleet")
+	}
+
+	solves := 0
+	for _, tpl := range templates {
+		for _, sem := range []Semiring{Count, Bool, F2} {
+			q := buildTemplate(t, sem, tpl.spec, tpl.free, nil, 1234, 40, 6)
+			want, err := local.Solve(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s/%s local: %v", tpl.name, sem, err)
+			}
+			got, err := clustered.Solve(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s/%s cluster: %v", tpl.name, sem, err)
+			}
+			if !reflect.DeepEqual(got.Schema, want.Schema) ||
+				!reflect.DeepEqual(got.Tuples, want.Tuples) ||
+				!reflect.DeepEqual(got.Values, want.Values) {
+				t.Fatalf("%s/%s: cluster result differs from local", tpl.name, sem)
+			}
+			solves++
+		}
+	}
+	st, ok := clustered.ClusterStats()
+	if !ok {
+		t.Fatal("cluster engine reports no fleet")
+	}
+	if st.Workers != 3 || st.Solves != int64(solves) {
+		t.Fatalf("cluster stats %+v, want %d solves on 3 workers", st, solves)
+	}
+	if st.SolvePayloadBytes == 0 || st.WireOutBytes == 0 {
+		t.Fatalf("cluster byte accounting empty: %+v", st)
+	}
+}
+
+// TestEngineClusterFallback: shapes the coordinator cannot shard (a
+// per-variable max) still serve correctly on a cluster-backed engine —
+// via the local pass — and never touch the fleet.
+func TestEngineClusterFallback(t *testing.T) {
+	addrs := startFleet(t, 2)
+	clustered := NewEngine(WithClusterWorkers(addrs...))
+	defer clustered.Close()
+	local := NewEngine()
+	defer local.Close()
+
+	build := func(t *testing.T) *Query {
+		rb := NewRelationBuilder(MustSchema("A", "B"))
+		rb.AddValued(0.5, 0, 1)
+		rb.AddValued(1.5, 0, 2)
+		rb.AddValued(2.0, 1, 1)
+		rel, err := rb.Relation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQuery(SumProduct).Factor(rel).Free("A").
+			Aggregate("B", AggMax).Domain(4).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	want, err := local.Solve(context.Background(), build(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := clustered.Solve(context.Background(), build(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tuples, want.Tuples) || !reflect.DeepEqual(got.Values, want.Values) {
+		t.Fatal("fallback result differs from local")
+	}
+	if st, _ := clustered.ClusterStats(); st.Solves != 0 {
+		t.Fatalf("non-distributable query ran %d cluster solves", st.Solves)
+	}
+}
+
+// TestWithClusterWorkersBlankAddrs: blank addresses are dropped; a list
+// with no usable address leaves the engine purely local.
+func TestWithClusterWorkersBlankAddrs(t *testing.T) {
+	e := NewEngine(WithClusterWorkers("", ""))
+	defer e.Close()
+	if _, ok := e.ClusterStats(); ok {
+		t.Fatal("engine built a fleet out of blank addresses")
+	}
+	if err := e.PingCluster(context.Background()); err != nil {
+		t.Fatalf("PingCluster on a local engine: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/faq"
 	"repro/internal/obs"
@@ -50,12 +51,13 @@ func DefaultWorkers() int { return exec.Workers() }
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	cacheSize   int
-	workers     int
-	budget      int64
-	fallback    bool
-	deadline    time.Duration
-	maxInFlight int
+	cacheSize    int
+	workers      int
+	budget       int64
+	fallback     bool
+	deadline     time.Duration
+	maxInFlight  int
+	clusterAddrs []string
 }
 
 // WithWorkers gives the engine a private exec pool of n workers for its
@@ -114,6 +116,7 @@ type Engine struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	runtime *obs.RuntimeCollector
+	cluster *cluster.Client
 }
 
 // NewEngine builds an engine from functional options.
@@ -148,8 +151,15 @@ func NewEngine(opts ...Option) *Engine {
 	if g := service.NewGate(cfg.maxInFlight); g != nil {
 		svcOpts = append(svcOpts, service.WithGate(g))
 	}
+	if len(cfg.clusterAddrs) > 0 {
+		// WithClusterWorkers already dropped blank entries, so the
+		// transport constructor cannot fail here.
+		if tr, err := cluster.NewTCPTransport(cfg.clusterAddrs, cluster.TCPOptions{}); err == nil {
+			e.cluster = cluster.NewClient(tr, cluster.Options{})
+		}
+	}
 	for _, s := range registry {
-		e.runners[s.name] = s.impl.newRunner(s.name, e.cache, svcOpts)
+		e.runners[s.name] = s.impl.newRunner(s.name, e.cache, e.cluster, svcOpts)
 	}
 	return e
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faq"
 	"repro/internal/plan"
@@ -116,7 +117,7 @@ type semiringImpl interface {
 	// size parameter N = max_e |R_e| (duplicate tuples ⊕-merge during
 	// relation building, so the public tuple count overestimates it).
 	buildTyped(spec *builtSpec) (any, int, error)
-	newRunner(name string, cache *plan.Cache, opts []service.Option) runner
+	newRunner(name string, cache *plan.Cache, clu *cluster.Client, opts []service.Option) runner
 }
 
 // runner is the per-semiring serving surface an Engine dispatches to.
@@ -188,7 +189,15 @@ func (im impl[T]) buildTyped(spec *builtSpec) (any, int, error) {
 	return q, q.MaxFactorSize(), nil
 }
 
-func (im impl[T]) newRunner(name string, cache *plan.Cache, opts []service.Option) runner {
+func (im impl[T]) newRunner(name string, cache *plan.Cache, clu *cluster.Client, opts []service.Option) runner {
+	if clu != nil {
+		// Copy before appending: the base option slice is shared across
+		// every registry entry, so appending in place would leak one
+		// semiring's distributed solver into the next runner built.
+		if ds, err := cluster.NewSolver[T](clu, name); err == nil {
+			opts = append(append([]service.Option(nil), opts...), service.WithDistributed(ds))
+		}
+	}
 	return &typedRunner[T]{im: im, svc: service.New(im.s, name, cache, opts...)}
 }
 

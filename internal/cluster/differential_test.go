@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faq"
+	"repro/internal/relation"
+	"repro/internal/rpc"
+	"repro/internal/semiring"
+	"repro/internal/workload"
+)
+
+// tcpFleet starts W real shard workers on loopback listeners and
+// returns a coordinator dialing them over TCP.
+func tcpFleet(t *testing.T, workers int) *Client {
+	t.Helper()
+	addrs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		srv, err := rpc.Serve("127.0.0.1:0", NewWorker().Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[w] = srv.Addr()
+	}
+	tr, err := NewTCPTransport(addrs, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tr, Options{})
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// logical projects the transport-independent half of Stats: the frame
+// and message counts plus payload bytes that must be identical whether
+// the frames crossed a netsim ledger or real loopback sockets.
+type logical struct {
+	Frames, LoadShards, SolveMessages int64
+	LoadPayloadBytes                  int64
+	SolvePayloadBytes                 int64
+	Phases                            int64
+}
+
+func logicalOf(s Stats) logical {
+	return logical{
+		Frames: s.Frames, LoadShards: s.LoadShards, SolveMessages: s.SolveMessages,
+		LoadPayloadBytes: s.LoadPayloadBytes, SolvePayloadBytes: s.SolvePayloadBytes,
+		Phases: s.Phases,
+	}
+}
+
+// TestDifferentialSimVsTCP is the transport differential harness: one
+// seeded workload runs through the in-process netsim-backed transport
+// and through a real loopback TCP fleet at 1, 2, and 8 workers. The
+// answers must be bit-identical to each other and to the single-process
+// engine, and the logical frame/message/payload accounting must match
+// exactly — the TCP stack may only change how bytes move, not what
+// moves.
+func TestDifferentialSimVsTCP(t *testing.T) {
+	sc := semiring.Count{}
+	gen := func(r *rand.Rand) int64 { return int64(1 + r.Intn(4)) }
+	for _, tpl := range workload.Templates() {
+		t.Run(tpl.Name, func(t *testing.T) {
+			q, g := templateQuery(t, sc, tpl.Name, 77, gen)
+			want, _, err := faq.SolveGHD(nil, q, g, faq.SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 2, 8} {
+				sim := simClient(t, w)
+				simSolver, err := NewSolver[int64](sim, "count")
+				if err != nil {
+					t.Fatal(err)
+				}
+				simAns, err := simSolver.SolveGHD(context.Background(), q, g)
+				if err != nil {
+					t.Fatalf("W=%d sim: %v", w, err)
+				}
+
+				tcp := tcpFleet(t, w)
+				tcpSolver, err := NewSolver[int64](tcp, "count")
+				if err != nil {
+					t.Fatal(err)
+				}
+				tcpAns, err := tcpSolver.SolveGHD(context.Background(), q, g)
+				if err != nil {
+					t.Fatalf("W=%d tcp: %v", w, err)
+				}
+
+				// Count is exact: ⊕ is integer addition, so both runs must
+				// be bit-identical to the local pass, not merely close.
+				if !relation.Equal(sc, simAns, want) {
+					t.Fatalf("W=%d: sim answer differs from local", w)
+				}
+				if !relation.Equal(sc, tcpAns, want) {
+					t.Fatalf("W=%d: tcp answer differs from local", w)
+				}
+				if !relation.Equal(sc, simAns, tcpAns) {
+					t.Fatalf("W=%d: transports disagree with each other", w)
+				}
+				simL, tcpL := logicalOf(sim.Stats()), logicalOf(tcp.Stats())
+				if simL != tcpL {
+					t.Fatalf("W=%d: logical accounting differs:\n sim %+v\n tcp %+v", w, simL, tcpL)
+				}
+				// Real sockets carry at least the payload plus per-frame
+				// headers; the wire total must dominate the payload total.
+				st := tcp.Stats()
+				if st.WireOutBytes <= st.LoadPayloadBytes {
+					t.Fatalf("W=%d: wire bytes %d do not cover load payload %d",
+						w, st.WireOutBytes, st.LoadPayloadBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPFleetSequentialSolves reuses one fleet (and its pooled
+// connections) across several solves, mixing semirings — the serving
+// pattern of a long-lived faqd.
+func TestTCPFleetSequentialSolves(t *testing.T) {
+	c := tcpFleet(t, 3)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sc := semiring.Count{}
+	qc, gc := templateQuery(t, sc, "path7", 3, func(r *rand.Rand) int64 { return int64(1 + r.Intn(3)) })
+	sb := semiring.Bool{}
+	qb, gb := templateQuery(t, sb, "star6", 4, func(*rand.Rand) bool { return true })
+
+	countSolver, err := NewSolver[int64](c, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolSolver, err := NewSolver[bool](c, "bool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, _, err := faq.SolveGHD(nil, qc, gc, faq.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _, err := faq.SolveGHD(nil, qb, gb, faq.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		gotC, err := countSolver.SolveGHD(context.Background(), qc, gc)
+		if err != nil {
+			t.Fatalf("round %d count: %v", i, err)
+		}
+		if !relation.Equal(sc, gotC, wantC) {
+			t.Fatalf("round %d: count answer drifted", i)
+		}
+		gotB, err := boolSolver.SolveGHD(context.Background(), qb, gb)
+		if err != nil {
+			t.Fatalf("round %d bool: %v", i, err)
+		}
+		if !relation.Equal(sb, gotB, wantB) {
+			t.Fatalf("round %d: bool answer drifted", i)
+		}
+	}
+	if st := c.Stats(); st.Solves != 6 {
+		t.Fatalf("expected 6 solves, got %d", st.Solves)
+	}
+}

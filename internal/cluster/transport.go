@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Transport moves cluster frames between the coordinator and a fixed
+// set of workers. Implementations are safe for concurrent RoundTrips;
+// worker indices run 0..Workers()-1.
+type Transport interface {
+	Workers() int
+	RoundTrip(ctx context.Context, worker int, req *rpc.Frame) (*rpc.Frame, error)
+	// Bytes returns cumulative wire bytes sent to and received from
+	// workers (frame headers included).
+	Bytes() (out, in int64)
+	Close() error
+}
+
+// TCPOptions tunes the real transport.
+type TCPOptions struct {
+	// MsgTimeout is the per-message deadline and dial timeout; 0 means
+	// no default (context deadlines still apply). Defaults to 30s.
+	MsgTimeout time.Duration
+	// ConnsPerWorker caps concurrent exchanges per worker — the
+	// transport-level half of the coordinator's in-flight bound.
+	// Defaults to 4.
+	ConnsPerWorker int
+	// DialRetries bounds reconnect attempts when a worker's port is not
+	// listening yet (connection refused): process launch order in smoke
+	// scripts and systemd-style deployments is not guaranteed. Retries
+	// back off deterministically from RetryDelay, doubling to 1s.
+	// Defaults to 8.
+	DialRetries int
+	// RetryDelay is the first reconnect backoff. Defaults to 50ms.
+	RetryDelay time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.MsgTimeout == 0 {
+		o.MsgTimeout = 30 * time.Second
+	}
+	if o.ConnsPerWorker <= 0 {
+		o.ConnsPerWorker = 4
+	}
+	if o.DialRetries <= 0 {
+		o.DialRetries = 8
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 50 * time.Millisecond
+	}
+	return o
+}
+
+// NewTCPTransport returns a Transport over real connections to the
+// given worker addresses. Connections are dialed lazily and pooled per
+// worker; a failed exchange discards its connection and the next
+// exchange redials.
+func NewTCPTransport(addrs []string, opt TCPOptions) (Transport, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	opt = opt.withDefaults()
+	t := &tcpTransport{opt: opt, pools: make([]*connPool, len(addrs))}
+	for i, addr := range addrs {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty worker address at index %d", i)
+		}
+		t.pools[i] = &connPool{
+			addr:  addr,
+			opt:   opt,
+			slots: make(chan struct{}, opt.ConnsPerWorker),
+			free:  make(chan *rpc.Conn, opt.ConnsPerWorker),
+			conns: make(map[*rpc.Conn]struct{}),
+		}
+	}
+	return t, nil
+}
+
+type tcpTransport struct {
+	opt     TCPOptions
+	pools   []*connPool
+	out, in atomic.Int64
+}
+
+func (t *tcpTransport) Workers() int { return len(t.pools) }
+
+func (t *tcpTransport) Bytes() (out, in int64) { return t.out.Load(), t.in.Load() }
+
+func (t *tcpTransport) RoundTrip(ctx context.Context, worker int, req *rpc.Frame) (*rpc.Frame, error) {
+	if worker < 0 || worker >= len(t.pools) {
+		return nil, fmt.Errorf("cluster: worker index %d out of range [0,%d)", worker, len(t.pools))
+	}
+	p := t.pools[worker]
+	c, err := p.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.RoundTrip(ctx, req)
+	if err != nil {
+		p.drop(c)
+		return nil, err
+	}
+	t.out.Add(int64(req.WireBytes()))
+	t.in.Add(int64(resp.WireBytes()))
+	p.put(c)
+	return resp, nil
+}
+
+func (t *tcpTransport) Close() error {
+	var err error
+	for _, p := range t.pools {
+		if e := p.close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// connPool bounds and reuses connections to one worker. slots is a
+// counting semaphore over live connections; free holds idle ones.
+type connPool struct {
+	addr  string
+	opt   TCPOptions
+	slots chan struct{}
+	free  chan *rpc.Conn
+
+	mu     sync.Mutex
+	conns  map[*rpc.Conn]struct{}
+	closed bool
+}
+
+func (p *connPool) get(ctx context.Context) (*rpc.Conn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		// Prefer an idle connection; otherwise take a slot and dial.
+		select {
+		case c := <-p.free:
+			if c.Broken() {
+				p.drop(c)
+				continue
+			}
+			return c, nil
+		default:
+		}
+		select {
+		case c := <-p.free:
+			if c.Broken() {
+				p.drop(c)
+				continue
+			}
+			return c, nil
+		case p.slots <- struct{}{}:
+			c, err := p.dial(ctx)
+			if err != nil {
+				<-p.slots
+				return nil, err
+			}
+			return c, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (p *connPool) put(c *rpc.Conn) {
+	if c.Broken() {
+		p.drop(c)
+		return
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		p.drop(c)
+		return
+	}
+	select {
+	case p.free <- c:
+	default:
+		p.drop(c)
+	}
+}
+
+func (p *connPool) drop(c *rpc.Conn) {
+	c.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	<-p.slots
+}
+
+// dial connects to the worker, retrying connection-refused with
+// deterministic exponential backoff: during cluster bring-up the
+// coordinator may simply be ahead of the workers. Injected faults and
+// every other error fail immediately.
+func (p *connPool) dial(ctx context.Context) (*rpc.Conn, error) {
+	delay := p.opt.RetryDelay
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, errors.New("cluster: transport closed")
+		}
+		p.mu.Unlock()
+		c, err := rpc.Dial(ctx, p.addr, p.opt.MsgTimeout)
+		if err == nil {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				c.Close()
+				return nil, errors.New("cluster: transport closed")
+			}
+			p.conns[c] = struct{}{}
+			p.mu.Unlock()
+			return c, nil
+		}
+		if attempt >= p.opt.DialRetries || !errors.Is(err, syscall.ECONNREFUSED) {
+			return nil, err
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+func (p *connPool) close() error {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]*rpc.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[*rpc.Conn]struct{})
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}

@@ -165,7 +165,30 @@ type SolveOptions struct {
 	// instead; the pass runs strictly sequentially (exec.ForestShaped is
 	// a measurement harness). Takes precedence over Timed.
 	Shaped bool
+	// Distributed, when non-nil, must be a DistributedSolver[T] for the
+	// query's value type; SolveGHD then delegates the validated pass to
+	// it (cluster-backed execution). A solver rejecting the query shape
+	// with ErrNotDistributable falls back to the local pass, so engines
+	// can always set the option and let eligibility decide per query.
+	// The field is `any` because SolveOptions is shared across value
+	// types; a type mismatch silently runs locally.
+	Distributed any
 }
+
+// DistributedSolver executes one validated GHD bottom-up pass on
+// external workers, returning the root message. Implementations must
+// keep the bit-identical contract of the local pass for exact
+// semirings: same child join order, same innermost-first aggregation,
+// duplicate groups merged with ⊕.
+type DistributedSolver[T any] interface {
+	SolveGHD(ctx context.Context, q *Query[T], g *ghd.GHD) (*relation.Relation[T], error)
+}
+
+// ErrNotDistributable is returned (wrapped) by a DistributedSolver that
+// cannot run the query's shape remotely — per-variable aggregate
+// operators, multiple factors on one GHD node. SolveGHD treats it as
+// "run locally", every other solver error as a real failure.
+var ErrNotDistributable = errors.New("faq: query not distributable")
 
 // SolveMetrics carries the optional measurements of a SolveGHD run:
 // Costs when SolveOptions.Timed was set, Shapes when Shaped was.
@@ -238,6 +261,20 @@ func SolveGHD[T any](ctx context.Context, q *Query[T], g *ghd.GHD, opts SolveOpt
 	for _, v := range q.Free {
 		if !hypergraph.ContainsSorted(rootBag, v) {
 			return nil, metrics, fmt.Errorf("faq: free variable %d outside root bag %v: %w", v, rootBag, ErrFreeOutsideRoot)
+		}
+	}
+
+	if opts.Distributed != nil {
+		if ds, ok := opts.Distributed.(DistributedSolver[T]); ok {
+			ans, err := ds.SolveGHD(ctx, q, g)
+			if err == nil {
+				// No per-node cost vector: the work ran on the cluster.
+				return ans, metrics, nil
+			}
+			if !errors.Is(err, ErrNotDistributable) {
+				return nil, metrics, err
+			}
+			// Shape not distributable: run the local pass below.
 		}
 	}
 

@@ -26,6 +26,7 @@ func DefaultFacadeConfig() FacadeConfig {
 		Module: ModulePath,
 		Allowed: map[string][]string{
 			"repro/cmd/faqd":                 {"repro/faqs"},
+			"repro/cmd/faqw":                 {"repro/faqs"},
 			"repro/cmd/faqrun":               {"repro/faqs"},
 			"repro/cmd/faqlint":              {"repro/internal/lint"},
 			"repro/examples/quickstart":      {"repro/faqs"},

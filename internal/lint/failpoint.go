@@ -30,6 +30,8 @@ func DefaultFailpointConfig() FailpointConfig {
 			"repro/internal/relation",
 			"repro/internal/protocol",
 			"repro/internal/exec",
+			"repro/internal/rpc",
+			"repro/internal/cluster",
 			"repro/faqs",
 			"repro/cmd/faqd",
 		},

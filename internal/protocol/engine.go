@@ -129,6 +129,7 @@ func RunOnGHD[T any](s *Setup[T], gh *ghd.GHD) (*relation.Relation[T], Report, e
 	}
 	rep.Rounds = net.Rounds()
 	rep.Bits = net.TotalBits()
+	RecordReport(rep)
 	return ans, rep, nil
 }
 

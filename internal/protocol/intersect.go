@@ -119,6 +119,7 @@ func SetIntersection(in *SetIntersectionInput) ([]int, Report, error) {
 	sort.Ints(result)
 	rep.Rounds = net.Rounds()
 	rep.Bits = net.TotalBits()
+	RecordReport(rep)
 	return result, rep, nil
 }
 

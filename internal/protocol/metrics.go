@@ -1,0 +1,36 @@
+package protocol
+
+import "repro/internal/obs"
+
+// The shared communication metric surface: every distributed execution
+// — the netsim protocol engines here and the real cluster coordinator
+// (internal/cluster) — folds its round and byte totals into the same
+// two families on the process-global registry, labeled by protocol
+// name. The protocol package owns the registration so the families
+// have exactly one home (the metricreg analyzer enforces cross-package
+// uniqueness).
+var (
+	metricCommBytes = obs.Default().NewCounterVec("faq_protocol_bytes_total",
+		"Bytes moved by distributed protocol executions (netsim ledger bits rounded up to bytes; cluster relation payload), by protocol.",
+		"protocol")
+	metricCommRounds = obs.Default().NewCounterVec("faq_protocol_rounds_total",
+		"Communication rounds of distributed protocol executions (netsim round complexity; cluster scatter/gather phases), by protocol.",
+		"protocol")
+)
+
+// RecordComms folds one distributed execution's communication totals
+// into the shared families. The cluster coordinator calls it with its
+// phase and payload-byte counts; netsim runs go through RecordReport.
+func RecordComms(protocol string, rounds int, bytes int64) {
+	if protocol == "" {
+		protocol = "unknown"
+	}
+	metricCommRounds.With(protocol).Add(int64(rounds))
+	metricCommBytes.With(protocol).Add(bytes)
+}
+
+// RecordReport folds a finished netsim run's Report into the shared
+// families, converting ledger bits to bytes (rounded up).
+func RecordReport(rep Report) {
+	RecordComms(rep.Protocol, rep.Rounds, (rep.Bits+7)/8)
+}

@@ -80,6 +80,7 @@ func RunTrivial[T any](s *Setup[T]) (*relation.Relation[T], Report, error) {
 	}
 	rep.Rounds = net.Rounds()
 	rep.Bits = net.TotalBits()
+	RecordReport(rep)
 	return ans, rep, nil
 }
 

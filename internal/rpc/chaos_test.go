@@ -1,0 +1,110 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestChaosExchange sweeps the client-side transport failpoints: an
+// injected drop on any of rpc.dial / rpc.send / rpc.recv surfaces as a
+// typed error matching fault.ErrInjected (never a hang or a fabricated
+// EOF), an injected delay is absorbed while per-message deadlines and
+// context cancellation stay honored, and an injected cancel surfaces
+// promptly as context.Canceled. After every fault the next exchange on
+// a fresh connection succeeds.
+func TestChaosExchange(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	srv := echoServer(t)
+
+	dial := func(t *testing.T) *Conn {
+		t.Helper()
+		c, err := Dial(context.Background(), srv.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	exchange := func(c *Conn) error {
+		_, err := c.RoundTrip(context.Background(), &Frame{Kind: 1, Body: []byte("x")})
+		return err
+	}
+
+	t.Run("drop/dial", func(t *testing.T) {
+		fault.Enable("rpc.dial", fault.Config{Mode: fault.ModeError, Once: true})
+		defer fault.Reset()
+		if _, err := Dial(context.Background(), srv.Addr(), time.Second); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("injected dial fault returned %v, want ErrInjected", err)
+		}
+		// Once: the next dial succeeds without waiting out a retry loop.
+		if err := exchange(dial(t)); err != nil {
+			t.Fatalf("post-fault dial failed: %v", err)
+		}
+	})
+
+	for _, site := range []string{"rpc.send", "rpc.recv"} {
+		t.Run("drop/"+site, func(t *testing.T) {
+			c := dial(t)
+			fault.Enable(site, fault.Config{Mode: fault.ModeError, Once: true})
+			defer fault.Reset()
+			if err := exchange(c); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("injected %s fault returned %v, want ErrInjected", site, err)
+			}
+			if !c.Broken() {
+				t.Fatalf("%s fault left the connection unpoisoned", site)
+			}
+			if err := exchange(dial(t)); err != nil {
+				t.Fatalf("fresh connection after %s fault failed: %v", site, err)
+			}
+		})
+
+		t.Run("delay/"+site, func(t *testing.T) {
+			c := dial(t)
+			fault.Enable(site, fault.Config{Mode: fault.ModeDelay, Delay: 30 * time.Millisecond})
+			defer fault.Reset()
+			t0 := time.Now()
+			if err := exchange(c); err != nil {
+				t.Fatalf("delayed exchange failed: %v", err)
+			}
+			if d := time.Since(t0); d < 30*time.Millisecond {
+				t.Fatalf("delay did not bite: %v", d)
+			}
+		})
+
+		t.Run("delay-cancel/"+site, func(t *testing.T) {
+			// A long injected stall must not outlive the caller's context:
+			// the delay aborts on cancellation and the exchange reports the
+			// context's error.
+			c := dial(t)
+			fault.Enable(site, fault.Config{Mode: fault.ModeDelay, Delay: time.Minute})
+			defer fault.Reset()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			t0 := time.Now()
+			_, err := c.RoundTrip(ctx, &Frame{Kind: 1})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("stalled exchange returned %v, want DeadlineExceeded", err)
+			}
+			if d := time.Since(t0); d > 5*time.Second {
+				t.Fatalf("cancellation waited out the injected delay: %v", d)
+			}
+		})
+
+		t.Run("cancel/"+site, func(t *testing.T) {
+			c := dial(t)
+			fault.Enable(site, fault.Config{Mode: fault.ModeCancel, Once: true})
+			defer fault.Reset()
+			if err := exchange(c); !errors.Is(err, context.Canceled) {
+				t.Fatalf("injected cancel returned %v, want context.Canceled", err)
+			}
+			if err := exchange(dial(t)); err != nil {
+				t.Fatalf("fresh connection after cancel failed: %v", err)
+			}
+		})
+	}
+}

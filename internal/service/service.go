@@ -65,13 +65,14 @@ func (e *BudgetError) Is(target error) bool { return target == ErrOverBudget }
 type Option func(*config)
 
 type config struct {
-	pool       *exec.Pool
-	budget     int64
-	noFallback bool
-	gate       *Gate
-	deadline   time.Duration
-	metrics    *obs.Registry
-	tracer     *obs.Tracer
+	pool        *exec.Pool
+	budget      int64
+	noFallback  bool
+	gate        *Gate
+	deadline    time.Duration
+	metrics     *obs.Registry
+	tracer      *obs.Tracer
+	distributed any
 }
 
 // WithPool runs the service's GHD passes on a caller-owned exec pool
@@ -91,6 +92,16 @@ func WithMemoryBudget(bytes int64) Option { return func(c *config) { c.budget = 
 // ErrFallbackDisabled instead.
 func WithBruteForceFallback(enabled bool) Option {
 	return func(c *config) { c.noFallback = !enabled }
+}
+
+// WithDistributed threads a faq.DistributedSolver for the service's
+// value type into every solve (faq.SolveOptions.Distributed): eligible
+// queries execute on the cluster, the rest run locally. The request
+// still flows through admission, deadlines, metrics, and panic
+// containment here — distribution changes where the pass runs, not the
+// serving contract.
+func WithDistributed(solver any) Option {
+	return func(c *config) { c.distributed = solver }
 }
 
 // Info reports how one request was served.
@@ -327,7 +338,9 @@ func (sv *Service[T]) execute(ctx context.Context, q *faq.Query[T], p *plan.Plan
 	}
 	info.BindNS = time.Since(tb).Nanoseconds()
 	te := time.Now()
-	ans, m, err := faq.SolveGHD(ctx, q, g, faq.SolveOptions{Pool: sv.cfg.pool, Timed: true})
+	ans, m, err := faq.SolveGHD(ctx, q, g, faq.SolveOptions{
+		Pool: sv.cfg.pool, Timed: true, Distributed: sv.cfg.distributed,
+	})
 	info.ExecNS = time.Since(te).Nanoseconds()
 	if err != nil {
 		return nil, err
